@@ -1,0 +1,129 @@
+//! Criterion microbenchmarks of the six estimators: insert throughput and
+//! estimate latency per query type. These are the micro-costs behind
+//! Table I and the latency panels of Figures 3–13.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estimators::{build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind};
+use geostream::synth::DatasetSpec;
+use geostream::{GeoTextObject, KeywordId, Point, RcDvq, Rect};
+
+fn config(dataset: &DatasetSpec) -> EstimatorConfig {
+    EstimatorConfig {
+        domain: dataset.domain,
+        reservoir_capacity: 2_400,
+        ..EstimatorConfig::default()
+    }
+}
+
+fn filled(kind: EstimatorKind, objects: &[GeoTextObject], cfg: &EstimatorConfig) -> BoxedEstimator {
+    let mut est = build_estimator(kind, cfg);
+    for o in objects {
+        est.insert(o);
+    }
+    est
+}
+
+fn workload(dataset: &DatasetSpec) -> (Vec<GeoTextObject>, Vec<RcDvq>, Vec<RcDvq>, Vec<RcDvq>) {
+    let objects: Vec<GeoTextObject> = dataset.generator().take(30_000).collect();
+    let hotspots: Vec<Point> = dataset
+        .spatial_model()
+        .hotspots()
+        .iter()
+        .map(|h| h.center)
+        .collect();
+    let spatial: Vec<RcDvq> = hotspots
+        .iter()
+        .take(16)
+        .map(|c| RcDvq::spatial(Rect::centered_clamped(*c, 2.0, 1.5, &dataset.domain)))
+        .collect();
+    let keyword: Vec<RcDvq> = (0..16u32)
+        .map(|i| RcDvq::keyword(vec![KeywordId(i)]))
+        .collect();
+    let hybrid: Vec<RcDvq> = hotspots
+        .iter()
+        .take(16)
+        .enumerate()
+        .map(|(i, c)| {
+            RcDvq::hybrid(
+                Rect::centered_clamped(*c, 2.0, 1.5, &dataset.domain),
+                vec![KeywordId(i as u32)],
+            )
+        })
+        .collect();
+    (objects, spatial, keyword, hybrid)
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let dataset = DatasetSpec::twitter();
+    let cfg = config(&dataset);
+    let objects: Vec<GeoTextObject> = dataset.generator().take(10_000).collect();
+    let mut group = c.benchmark_group("estimator_insert_10k");
+    group.sample_size(10);
+    for kind in EstimatorKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut est = build_estimator(kind, &cfg);
+                for o in &objects {
+                    est.insert(o);
+                }
+                est.population()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimates(c: &mut Criterion) {
+    let dataset = DatasetSpec::twitter();
+    let cfg = config(&dataset);
+    let (objects, spatial, keyword, hybrid) = workload(&dataset);
+    for (label, queries) in [
+        ("spatial", &spatial),
+        ("keyword", &keyword),
+        ("hybrid", &hybrid),
+    ] {
+        let mut group = c.benchmark_group(format!("estimate_{label}"));
+        for kind in EstimatorKind::ALL {
+            let est = filled(kind, &objects, &cfg);
+            group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    std::hint::black_box(est.estimate(q))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_memory_budget_sweep(c: &mut Criterion) {
+    // The Fig. 13 microcost: estimate latency as the budget grows.
+    let dataset = DatasetSpec::twitter();
+    let (objects, spatial, _, _) = workload(&dataset);
+    let mut group = c.benchmark_group("estimate_spatial_by_budget_AASP");
+    for budget in [0.5f64, 1.0, 2.0, 4.0] {
+        let cfg = EstimatorConfig {
+            memory_budget: budget,
+            ..config(&dataset)
+        };
+        let est = filled(EstimatorKind::Aasp, &objects, &cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &spatial[i % spatial.len()];
+                    i += 1;
+                    std::hint::black_box(est.estimate(q))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_estimates, bench_memory_budget_sweep);
+criterion_main!(benches);

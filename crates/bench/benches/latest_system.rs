@@ -1,0 +1,83 @@
+//! Criterion macro-benchmark: the LATEST end-to-end query path (estimate
+//! plus exact execution plus the feedback loop), which is what every
+//! figure's wall-clock rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estimators::EstimatorConfig;
+use geostream::synth::DatasetSpec;
+use geostream::{Duration, KeywordId, RcDvq, Rect};
+use latest_core::{Latest, LatestConfig, PhaseTag};
+
+fn ready_latest() -> (Latest, geostream::synth::ObjectGenerator) {
+    let dataset = DatasetSpec::twitter();
+    let config = LatestConfig {
+        window_span: Duration::from_secs(45),
+        warmup: Duration::from_secs(45),
+        pretrain_queries: 60,
+        estimator_config: EstimatorConfig {
+            domain: dataset.domain,
+            reservoir_capacity: 2_400,
+            ..EstimatorConfig::default()
+        },
+        ..LatestConfig::default()
+    };
+    let mut latest = Latest::new(config);
+    let mut gen = dataset.generator();
+    while latest.phase() == PhaseTag::WarmUp {
+        latest.ingest(gen.next_object());
+    }
+    let center = dataset.spatial_model().hotspots()[0].center;
+    let area = Rect::centered_clamped(center, 2.0, 1.5, &dataset.domain);
+    let mut n = 0u32;
+    while latest.phase() == PhaseTag::PreTraining {
+        latest.ingest(gen.next_object());
+        let q = match n % 3 {
+            0 => RcDvq::spatial(area),
+            1 => RcDvq::keyword(vec![KeywordId(n % 40)]),
+            _ => RcDvq::hybrid(area, vec![KeywordId(n % 40)]),
+        };
+        latest.query(&q, gen.clock());
+        n += 1;
+    }
+    (latest, gen)
+}
+
+fn bench_query_path(c: &mut Criterion) {
+    let (mut latest, mut gen) = ready_latest();
+    let dataset = DatasetSpec::twitter();
+    let center = dataset.spatial_model().hotspots()[1].center;
+    let area = Rect::centered_clamped(center, 2.0, 1.5, &dataset.domain);
+    let mut group = c.benchmark_group("latest_query_path");
+    group.sample_size(30);
+    let mut i = 0u32;
+    group.bench_function("incremental_query", |b| {
+        b.iter(|| {
+            latest.ingest(gen.next_object());
+            let q = match i % 3 {
+                0 => RcDvq::spatial(area),
+                1 => RcDvq::keyword(vec![KeywordId(i % 40)]),
+                _ => RcDvq::hybrid(area, vec![KeywordId(i % 40)]),
+            };
+            i += 1;
+            let out = latest.query(&q, gen.clock());
+            std::hint::black_box(out.estimate)
+        });
+    });
+    group.finish();
+}
+
+fn bench_ingest_path(c: &mut Criterion) {
+    let (mut latest, mut gen) = ready_latest();
+    let mut group = c.benchmark_group("latest_ingest_path");
+    group.sample_size(30);
+    group.bench_function("ingest_object", |b| {
+        b.iter(|| {
+            latest.ingest(gen.next_object());
+            latest.window_len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_path, bench_ingest_path);
+criterion_main!(benches);

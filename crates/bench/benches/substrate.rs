@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks of the substrates: window churn, exact-index
+//! query cost (Table I's index columns), the Hoeffding tree, and the
+//! synthetic generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estimators::EstimatorKind;
+use exactdb::{ExactExecutor, SpatialIndexKind};
+use geostream::synth::DatasetSpec;
+use geostream::{Duration, GeoTextObject, KeywordId, Point, RcDvq, Rect, SlidingWindow};
+use hoeffding::{HoeffdingTree, HoeffdingTreeConfig};
+use latest_core::QueryProfile;
+
+fn bench_window_churn(c: &mut Criterion) {
+    let dataset = DatasetSpec::twitter();
+    let objects: Vec<GeoTextObject> = dataset.generator().take(20_000).collect();
+    c.bench_function("window_churn_20k", |b| {
+        b.iter(|| {
+            let mut w = SlidingWindow::new(Duration::from_secs(10));
+            let mut evicted = Vec::new();
+            for o in &objects {
+                evicted.clear();
+                w.insert(o.clone(), &mut evicted);
+            }
+            w.len()
+        });
+    });
+}
+
+fn bench_exact_indexes(c: &mut Criterion) {
+    let dataset = DatasetSpec::twitter();
+    let objects: Vec<GeoTextObject> = dataset.generator().take(30_000).collect();
+    let center = dataset.spatial_model().hotspots()[0].center;
+    let queries = [
+        RcDvq::spatial(Rect::centered_clamped(center, 2.0, 1.5, &dataset.domain)),
+        RcDvq::keyword(vec![KeywordId(3)]),
+        RcDvq::hybrid(
+            Rect::centered_clamped(center, 2.0, 1.5, &dataset.domain),
+            vec![KeywordId(3)],
+        ),
+    ];
+    for kind in [SpatialIndexKind::Grid, SpatialIndexKind::Quadtree] {
+        let mut ex = ExactExecutor::new(dataset.domain, kind);
+        for o in &objects {
+            ex.insert(o);
+        }
+        let mut group = c.benchmark_group(format!("exact_{}", kind.name()));
+        for (label, q) in ["spatial", "keyword", "hybrid"].iter().zip(&queries) {
+            group.bench_with_input(BenchmarkId::from_parameter(label), q, |b, q| {
+                b.iter(|| std::hint::black_box(ex.execute(q)));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_hoeffding(c: &mut Criterion) {
+    let schema = latest_core::features::model_schema();
+    let domain = Rect::new(-125.0, 25.0, -66.0, 49.0);
+    let queries: Vec<RcDvq> = (0..256u32)
+        .map(|i| match i % 3 {
+            0 => RcDvq::spatial(Rect::centered_clamped(
+                Point::new(-100.0, 40.0),
+                1.0 + (i % 7) as f64,
+                1.0,
+                &domain,
+            )),
+            1 => RcDvq::keyword(vec![KeywordId(i % 50)]),
+            _ => RcDvq::hybrid(
+                Rect::centered_clamped(Point::new(-90.0, 35.0), 2.0, 2.0, &domain),
+                vec![KeywordId(i % 50)],
+            ),
+        })
+        .collect();
+    let instances: Vec<_> = queries
+        .iter()
+        .map(|q| QueryProfile::of(q, &domain).instance(EstimatorKind::Rsh))
+        .collect();
+
+    c.bench_function("hoeffding_train", |b| {
+        let mut tree = HoeffdingTree::new(schema.clone(), HoeffdingTreeConfig::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            tree.train(&instances[i % instances.len()], (i % 6) as u32);
+            i += 1;
+        });
+    });
+
+    let mut trained = HoeffdingTree::new(schema, HoeffdingTreeConfig::default());
+    for (i, inst) in instances.iter().cycle().take(20_000).enumerate() {
+        trained.train(inst, (i % 6) as u32);
+    }
+    c.bench_function("hoeffding_predict", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let p = trained.predict(&instances[i % instances.len()]);
+            i += 1;
+            std::hint::black_box(p)
+        });
+    });
+}
+
+fn bench_generator(c: &mut Criterion) {
+    c.bench_function("synth_generate_10k", |b| {
+        b.iter(|| {
+            let mut gen = DatasetSpec::twitter().generator();
+            let mut last = 0u64;
+            for _ in 0..10_000 {
+                last = gen.next_object().oid.0;
+            }
+            last
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_window_churn,
+    bench_exact_indexes,
+    bench_hoeffding,
+    bench_generator
+);
+criterion_main!(benches);

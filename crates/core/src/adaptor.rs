@@ -1,0 +1,312 @@
+//! The recommendation side of the Estimator Adaptor (§V-D).
+//!
+//! The adaptor combines two signals to pick a replacement estimator:
+//!
+//! * the **Hoeffding tree**, consulted with the profile of the next query
+//!   in the queue — its class scores rank the estimators;
+//! * per-`(query type, estimator)` **EWMA rewards** accumulated since the
+//!   pre-training phase — the fallback ranking while the tree is young,
+//!   and the tie-breaker among classes the tree has never predicted.
+//!
+//! The recommendation always excludes the estimator currently in use
+//! (switching to itself would be a no-op the paper's protocol never does).
+
+use crate::features::QueryProfile;
+use estimators::EstimatorKind;
+use geostream::QueryType;
+use hoeffding::HoeffdingTree;
+
+/// EWMA smoothing factor for per-cell rewards.
+const EWMA_LAMBDA: f64 = 0.15;
+/// Optimistic initial reward so unobserved estimators get explored.
+const INITIAL_REWARD: f64 = 0.6;
+
+/// Ranks estimators for a query profile from the learning model plus
+/// reward history.
+#[derive(Debug, Clone)]
+pub struct Recommender {
+    /// `rewards[query_type][estimator]` EWMA of α-weighted rewards.
+    rewards: [[f64; 6]; 3],
+    /// `observations[query_type][estimator]`.
+    observations: [[u64; 6]; 3],
+}
+
+impl Default for Recommender {
+    fn default() -> Self {
+        Recommender {
+            rewards: [[INITIAL_REWARD; 6]; 3],
+            observations: [[0; 6]; 3],
+        }
+    }
+}
+
+impl Recommender {
+    /// Creates a recommender with optimistic priors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observed reward into the EWMA cell.
+    pub fn observe(&mut self, query_type: QueryType, kind: EstimatorKind, reward: f64) {
+        let q = query_type.index() as usize;
+        let k = kind.index() as usize;
+        self.rewards[q][k] = (1.0 - EWMA_LAMBDA) * self.rewards[q][k] + EWMA_LAMBDA * reward;
+        self.observations[q][k] += 1;
+    }
+
+    /// Current EWMA reward of a cell.
+    pub fn reward(&self, query_type: QueryType, kind: EstimatorKind) -> f64 {
+        self.rewards[query_type.index() as usize][kind.index() as usize]
+    }
+
+    /// How many rewards a cell has absorbed.
+    pub fn observations(&self, query_type: QueryType, kind: EstimatorKind) -> u64 {
+        self.observations[query_type.index() as usize][kind.index() as usize]
+    }
+
+    /// The estimator with the best EWMA reward for `query_type`, excluding
+    /// `exclude`.
+    pub fn best_by_reward(
+        &self,
+        query_type: QueryType,
+        exclude: Option<EstimatorKind>,
+    ) -> EstimatorKind {
+        EstimatorKind::ALL
+            .into_iter()
+            .filter(|&k| Some(k) != exclude)
+            .max_by(|a, b| {
+                self.reward(query_type, *a)
+                    .partial_cmp(&self.reward(query_type, *b))
+                    .expect("rewards are finite")
+            })
+            .expect("at least five candidates remain")
+    }
+
+    /// Recommends a replacement for `active` given the next query's
+    /// profile: consult the tree's class scores, blend with EWMA rewards,
+    /// and return the best non-active estimator.
+    ///
+    /// The tree's scores are normalized to a distribution so young trees
+    /// (all mass on one class) and mature trees compare on the same scale.
+    pub fn recommend(
+        &self,
+        tree: &HoeffdingTree,
+        profile: &QueryProfile,
+        active: EstimatorKind,
+    ) -> EstimatorKind {
+        let weights = tree.predict_weights(&profile.instance(active));
+        let total: f64 = weights.iter().sum();
+        let mut best = None;
+        let mut best_score = f64::NEG_INFINITY;
+        for kind in EstimatorKind::ALL {
+            if kind == active {
+                continue;
+            }
+            let tree_score = if total > 0.0 {
+                weights[kind.index() as usize] / total
+            } else {
+                0.0
+            };
+            // The tree vote is damped so that measured EWMA rewards decide
+            // near-ties; the tree's job is to break genuine workload-shape
+            // distinctions, not to override fresh performance evidence.
+            let score = 0.5 * tree_score + self.reward(profile.query_type, kind);
+            if score > best_score {
+                best_score = score;
+                best = Some(kind);
+            }
+        }
+        best.expect("non-active candidates exist")
+    }
+
+    /// Expected EWMA reward of `kind` under a query-type distribution
+    /// (`weights` indexed by [`QueryType::index`], not necessarily
+    /// normalized).
+    pub fn expected_reward(&self, weights: &[f64; 3], kind: EstimatorKind) -> f64 {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return INITIAL_REWARD;
+        }
+        weights
+            .iter()
+            .enumerate()
+            .map(|(t, &w)| w / total * self.rewards[t][kind.index() as usize])
+            .sum()
+    }
+
+    /// Recommends a replacement for `active` for a **workload mix** rather
+    /// than a single query: scores are expectations over the recent
+    /// query-type distribution, with one representative profile per type
+    /// feeding the tree. This is what keeps LATEST stable on mixed
+    /// workloads (e.g. 50 % spatial / 50 % hybrid): optimizing for the
+    /// marginal next query would flip-flop between per-type favorites.
+    pub fn recommend_mixed(
+        &self,
+        tree: &HoeffdingTree,
+        profiles: &[Option<QueryProfile>; 3],
+        weights: &[f64; 3],
+        active: EstimatorKind,
+    ) -> EstimatorKind {
+        self.recommend_with(tree, profiles, weights, active, true)
+    }
+
+    /// [`Recommender::recommend_mixed`] with the tree vote optionally
+    /// disabled (EWMA-only ablation).
+    pub fn recommend_with(
+        &self,
+        tree: &HoeffdingTree,
+        profiles: &[Option<QueryProfile>; 3],
+        weights: &[f64; 3],
+        active: EstimatorKind,
+        use_tree: bool,
+    ) -> EstimatorKind {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return self.best_by_reward(QueryType::Hybrid, Some(active));
+        }
+        // Per-type tree votes, computed once.
+        let mut tree_scores = [[0.0f64; 6]; 3];
+        if use_tree {
+            for (t, profile) in profiles.iter().enumerate() {
+                let Some(p) = profile else { continue };
+                let w = tree.predict_weights(&p.instance(active));
+                let sum: f64 = w.iter().sum();
+                if sum > 0.0 {
+                    for k in 0..6 {
+                        tree_scores[t][k] = w[k] / sum;
+                    }
+                }
+            }
+        }
+        let mut best = None;
+        let mut best_score = f64::NEG_INFINITY;
+        for kind in EstimatorKind::ALL {
+            if kind == active {
+                continue;
+            }
+            let k = kind.index() as usize;
+            let score: f64 = (0..3)
+                .map(|t| weights[t] / total * (0.5 * tree_scores[t][k] + self.rewards[t][k]))
+                .sum();
+            if score > best_score {
+                best_score = score;
+                best = Some(kind);
+            }
+        }
+        best.expect("non-active candidates exist")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::model_schema;
+    use geostream::{RcDvq, Rect};
+    use hoeffding::{HoeffdingTree, HoeffdingTreeConfig};
+
+    fn profile(qt: QueryType) -> QueryProfile {
+        QueryProfile {
+            query_type: qt,
+            keyword_count: if qt == QueryType::Spatial { 0 } else { 2 },
+            area_fraction: if qt == QueryType::Keyword { 0.0 } else { 0.01 },
+        }
+    }
+
+    #[test]
+    fn ewma_moves_toward_observations() {
+        let mut r = Recommender::new();
+        for _ in 0..50 {
+            r.observe(QueryType::Spatial, EstimatorKind::H4096, 1.0);
+            r.observe(QueryType::Spatial, EstimatorKind::Aasp, 0.0);
+        }
+        assert!(r.reward(QueryType::Spatial, EstimatorKind::H4096) > 0.95);
+        assert!(r.reward(QueryType::Spatial, EstimatorKind::Aasp) < 0.05);
+        assert_eq!(r.observations(QueryType::Spatial, EstimatorKind::H4096), 50);
+    }
+
+    #[test]
+    fn best_by_reward_respects_exclusion() {
+        let mut r = Recommender::new();
+        for _ in 0..50 {
+            r.observe(QueryType::Keyword, EstimatorKind::Rsh, 1.0);
+            r.observe(QueryType::Keyword, EstimatorKind::Rsl, 0.9);
+        }
+        assert_eq!(
+            r.best_by_reward(QueryType::Keyword, None),
+            EstimatorKind::Rsh
+        );
+        assert_eq!(
+            r.best_by_reward(QueryType::Keyword, Some(EstimatorKind::Rsh)),
+            EstimatorKind::Rsl
+        );
+    }
+
+    #[test]
+    fn recommend_never_returns_active() {
+        let r = Recommender::new();
+        let tree = HoeffdingTree::new(model_schema(), HoeffdingTreeConfig::default());
+        for qt in [QueryType::Spatial, QueryType::Keyword, QueryType::Hybrid] {
+            for active in EstimatorKind::ALL {
+                let rec = r.recommend(&tree, &profile(qt), active);
+                assert_ne!(rec, active);
+            }
+        }
+    }
+
+    #[test]
+    fn trained_tree_drives_recommendation() {
+        let mut r = Recommender::new();
+        // Neutralize reward priors so the tree signal dominates.
+        for qt in [QueryType::Spatial, QueryType::Keyword, QueryType::Hybrid] {
+            for k in EstimatorKind::ALL {
+                for _ in 0..60 {
+                    r.observe(qt, k, 0.5);
+                }
+            }
+        }
+        // Several attributes separate the classes perfectly, so the
+        // best-vs-second gain gap stays ~0 and only the tie threshold can
+        // trigger the split; loosen it so the test tree matures quickly.
+        let config = HoeffdingTreeConfig {
+            tie_threshold: 0.3,
+            grace_period: 100,
+            ..HoeffdingTreeConfig::default()
+        };
+        let mut tree = HoeffdingTree::new(model_schema(), config);
+        // Teach: spatial queries → H4096, keyword queries → RSH.
+        let domain = Rect::new(0.0, 0.0, 100.0, 100.0);
+        for i in 0..4_000 {
+            let side = 1.0 + (i % 20) as f64;
+            let sq = RcDvq::spatial(Rect::new(0.0, 0.0, side, side));
+            tree.train(
+                &QueryProfile::of(&sq, &domain).instance(EstimatorKind::Rsh),
+                EstimatorKind::H4096.index(),
+            );
+            let kq = RcDvq::keyword(vec![geostream::KeywordId(i as u32 % 30)]);
+            tree.train(
+                &QueryProfile::of(&kq, &domain).instance(EstimatorKind::Rsh),
+                EstimatorKind::Rsh.index(),
+            );
+        }
+        let spatial_rec = r.recommend(&tree, &profile(QueryType::Spatial), EstimatorKind::Rsl);
+        assert_eq!(spatial_rec, EstimatorKind::H4096);
+        // For keyword queries the tree prefers RSH.
+        let kw_rec = r.recommend(&tree, &profile(QueryType::Keyword), EstimatorKind::Aasp);
+        assert_eq!(kw_rec, EstimatorKind::Rsh);
+    }
+
+    #[test]
+    fn rewards_break_tree_ties() {
+        let r = {
+            let mut r = Recommender::new();
+            for _ in 0..80 {
+                r.observe(QueryType::Hybrid, EstimatorKind::Rsl, 0.95);
+            }
+            r
+        };
+        // Untrained tree: uniform scores; reward history should decide.
+        let tree = HoeffdingTree::new(model_schema(), HoeffdingTreeConfig::default());
+        let rec = r.recommend(&tree, &profile(QueryType::Hybrid), EstimatorKind::Rsh);
+        assert_eq!(rec, EstimatorKind::Rsl);
+    }
+}

@@ -1,0 +1,294 @@
+//! Concurrent deployment facade.
+//!
+//! A real system ingests the stream on one path and answers estimation
+//! queries on another. This module provides the two pieces a deployment
+//! needs:
+//!
+//! * [`SharedLatest`] — a cheaply cloneable, thread-safe handle around a
+//!   [`Latest`] instance (a `parking_lot` mutex; LATEST's per-event work is
+//!   microseconds, so a mutex outperforms anything fancier at realistic
+//!   rates);
+//! * [`StreamPipeline`] — a crossbeam-channel pipeline that runs ingestion
+//!   on a background thread while the caller issues queries from any
+//!   number of threads.
+//!
+//! ```
+//! use geostream::synth::DatasetSpec;
+//! use geostream::{Duration, RcDvq, Rect};
+//! use latest_core::concurrent::StreamPipeline;
+//! use latest_core::{LatestConfig, PhaseTag};
+//!
+//! let dataset = DatasetSpec::twitter();
+//! let config = LatestConfig {
+//!     window_span: Duration::from_secs(30),
+//!     warmup: Duration::from_secs(30),
+//!     pretrain_queries: 10,
+//!     estimator_config: estimators::EstimatorConfig {
+//!         domain: dataset.domain,
+//!         reservoir_capacity: 1_000,
+//!         ..Default::default()
+//!     },
+//!     ..Default::default()
+//! };
+//! let pipeline = StreamPipeline::spawn(config, dataset.generator(), 8_000);
+//! pipeline.wait_for_phase(PhaseTag::PreTraining);
+//! let out = pipeline
+//!     .handle()
+//!     .query(&RcDvq::spatial(Rect::new(-120.0, 30.0, -100.0, 45.0)));
+//! assert!(out.estimate >= 0.0);
+//! pipeline.shutdown();
+//! ```
+
+use crate::log::PhaseTag;
+use crate::system::{Latest, LatestConfig, QueryOutcome};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use estimators::EstimatorKind;
+use geostream::synth::ObjectGenerator;
+use geostream::{GeoTextObject, RcDvq, Timestamp};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A thread-safe, cloneable handle to a LATEST instance.
+#[derive(Clone)]
+pub struct SharedLatest {
+    inner: Arc<Mutex<Latest>>,
+}
+
+impl SharedLatest {
+    /// Wraps a fresh LATEST instance.
+    pub fn new(config: LatestConfig) -> Self {
+        SharedLatest {
+            inner: Arc::new(Mutex::new(Latest::new(config))),
+        }
+    }
+
+    /// Ingests one stream object.
+    pub fn ingest(&self, obj: GeoTextObject) {
+        self.inner.lock().ingest(obj);
+    }
+
+    /// Answers an estimation query at the stream's current time.
+    pub fn query(&self, query: &RcDvq) -> QueryOutcome {
+        let mut guard = self.inner.lock();
+        let now = guard.now();
+        guard.query(query, now)
+    }
+
+    /// Answers an estimation query at an explicit stream time.
+    pub fn query_at(&self, query: &RcDvq, at: Timestamp) -> QueryOutcome {
+        self.inner.lock().query(query, at)
+    }
+
+    /// Current lifetime phase.
+    pub fn phase(&self) -> PhaseTag {
+        self.inner.lock().phase()
+    }
+
+    /// The estimator currently employed.
+    pub fn active_kind(&self) -> EstimatorKind {
+        self.inner.lock().active_kind()
+    }
+
+    /// Live window size.
+    pub fn window_len(&self) -> usize {
+        self.inner.lock().window_len()
+    }
+
+    /// Number of switches performed so far.
+    pub fn switch_count(&self) -> usize {
+        self.inner.lock().log().switches.len()
+    }
+
+    /// Runs `f` against the underlying instance (e.g. to clone the log).
+    pub fn with<R>(&self, f: impl FnOnce(&Latest) -> R) -> R {
+        f(&self.inner.lock())
+    }
+}
+
+/// A background ingestion pipeline: a producer thread pulls objects from a
+/// generator and sends them over a bounded crossbeam channel; a consumer
+/// thread ingests them into the shared LATEST instance.
+pub struct StreamPipeline {
+    handle: SharedLatest,
+    stop: Sender<()>,
+    producer: Option<JoinHandle<()>>,
+    consumer: Option<JoinHandle<u64>>,
+}
+
+impl StreamPipeline {
+    /// Spawns the pipeline. `channel_capacity` bounds producer run-ahead
+    /// (backpressure).
+    pub fn spawn(
+        config: LatestConfig,
+        mut generator: ObjectGenerator,
+        channel_capacity: usize,
+    ) -> Self {
+        let handle = SharedLatest::new(config);
+        let (obj_tx, obj_rx): (Sender<GeoTextObject>, Receiver<GeoTextObject>) =
+            bounded(channel_capacity.max(1));
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+
+        let producer = std::thread::Builder::new()
+            .name("latest-producer".into())
+            .spawn(move || loop {
+                if stop_rx.try_recv().is_ok() {
+                    return;
+                }
+                // Send blocks when the consumer lags: backpressure.
+                if obj_tx.send(generator.next_object()).is_err() {
+                    return;
+                }
+            })
+            .expect("spawn producer");
+
+        let consumer_handle = handle.clone();
+        let consumer = std::thread::Builder::new()
+            .name("latest-ingestor".into())
+            .spawn(move || {
+                let mut ingested = 0u64;
+                while let Ok(obj) = obj_rx.recv() {
+                    consumer_handle.ingest(obj);
+                    ingested += 1;
+                }
+                ingested
+            })
+            .expect("spawn consumer");
+
+        StreamPipeline {
+            handle,
+            stop: stop_tx,
+            producer: Some(producer),
+            consumer: Some(consumer),
+        }
+    }
+
+    /// A cloneable query handle.
+    pub fn handle(&self) -> SharedLatest {
+        self.handle.clone()
+    }
+
+    /// Blocks until LATEST has reached (at least) `phase`.
+    pub fn wait_for_phase(&self, phase: PhaseTag) {
+        let rank = |p: PhaseTag| match p {
+            PhaseTag::WarmUp => 0,
+            PhaseTag::PreTraining => 1,
+            PhaseTag::Incremental => 2,
+        };
+        while rank(self.handle.phase()) < rank(phase) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Stops both threads and returns the number of objects ingested.
+    pub fn shutdown(mut self) -> u64 {
+        self.stop_threads()
+    }
+
+    fn stop_threads(&mut self) -> u64 {
+        let _ = self.stop.try_send(());
+        if let Some(p) = self.producer.take() {
+            let _ = p.join();
+        }
+        match self.consumer.take() {
+            Some(c) => c.join().unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for StreamPipeline {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estimators::EstimatorConfig;
+    use geostream::synth::DatasetSpec;
+    use geostream::{Duration, KeywordId, Rect};
+
+    fn config(dataset: &DatasetSpec) -> LatestConfig {
+        LatestConfig {
+            window_span: Duration::from_secs(30),
+            warmup: Duration::from_secs(30),
+            pretrain_queries: 15,
+            estimator_config: EstimatorConfig {
+                domain: dataset.domain,
+                reservoir_capacity: 1_000,
+                ..EstimatorConfig::default()
+            },
+            ..LatestConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_streams_and_answers() {
+        let dataset = DatasetSpec::twitter();
+        let pipeline = StreamPipeline::spawn(config(&dataset), dataset.generator(), 4_096);
+        pipeline.wait_for_phase(PhaseTag::PreTraining);
+        let handle = pipeline.handle();
+        assert!(handle.window_len() > 0);
+        for i in 0..30u32 {
+            let out = handle.query(&RcDvq::keyword(vec![KeywordId(i % 20)]));
+            assert!(out.estimate >= 0.0);
+        }
+        let ingested = pipeline.shutdown();
+        assert!(ingested > 0);
+    }
+
+    #[test]
+    fn concurrent_queriers_share_one_instance() {
+        let dataset = DatasetSpec::twitter();
+        let pipeline = StreamPipeline::spawn(config(&dataset), dataset.generator(), 4_096);
+        pipeline.wait_for_phase(PhaseTag::PreTraining);
+        let mut joins = Vec::new();
+        for t in 0..4u32 {
+            let handle = pipeline.handle();
+            joins.push(std::thread::spawn(move || {
+                let mut answered = 0usize;
+                for i in 0..25u32 {
+                    let q = RcDvq::hybrid(
+                        Rect::new(-120.0, 30.0, -100.0, 45.0),
+                        vec![KeywordId(t * 31 + i)],
+                    );
+                    let out = handle.query(&q);
+                    assert!(out.estimate.is_finite());
+                    answered += 1;
+                }
+                answered
+            }));
+        }
+        let total: usize = joins.into_iter().map(|j| j.join().expect("no panic")).sum();
+        assert_eq!(total, 100);
+        // All 100 queries are in the single shared log.
+        assert!(pipeline.handle().with(|l| l.log().queries.len()) >= 100);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_via_drop() {
+        let dataset = DatasetSpec::twitter();
+        let pipeline = StreamPipeline::spawn(config(&dataset), dataset.generator(), 128);
+        pipeline.wait_for_phase(PhaseTag::PreTraining);
+        drop(pipeline); // Drop must stop threads without deadlocking.
+    }
+
+    #[test]
+    fn shared_handle_reports_state() {
+        let dataset = DatasetSpec::twitter();
+        let shared = SharedLatest::new(config(&dataset));
+        assert_eq!(shared.phase(), PhaseTag::WarmUp);
+        assert_eq!(shared.switch_count(), 0);
+        let mut gen = dataset.generator();
+        for _ in 0..100 {
+            shared.ingest(gen.next_object());
+        }
+        assert_eq!(shared.window_len(), 100);
+        let clone = shared.clone();
+        assert_eq!(clone.window_len(), 100);
+        assert_eq!(clone.active_kind(), EstimatorKind::Rsh);
+    }
+}

@@ -1,0 +1,139 @@
+//! Moving-average estimation-accuracy monitor (§V-D).
+//!
+//! After every answered query, LATEST scores the active estimator against
+//! the system-log selectivity and pushes the accuracy here. The monitor
+//! keeps the accuracies of the most recent `W` queries; its average is the
+//! signal the estimator adaptor compares against the pre-filling threshold
+//! `β·τ` and the switch threshold `τ`.
+
+use std::collections::VecDeque;
+
+/// Sliding average over the accuracies of the last `capacity` queries.
+#[derive(Debug, Clone)]
+pub struct AccuracyMonitor {
+    window: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+}
+
+impl AccuracyMonitor {
+    /// Creates a monitor over the last `capacity` queries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "monitor needs a positive window");
+        AccuracyMonitor {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes one accuracy observation in `[0, 1]`.
+    pub fn push(&mut self, accuracy: f64) {
+        let accuracy = accuracy.clamp(0.0, 1.0);
+        if self.window.len() == self.capacity {
+            self.sum -= self.window.pop_front().expect("non-empty at capacity");
+        }
+        self.window.push_back(accuracy);
+        self.sum += accuracy;
+    }
+
+    /// Average accuracy over the current window (`None` until at least one
+    /// observation arrives).
+    pub fn average(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            None
+        } else {
+            Some((self.sum / self.window.len() as f64).clamp(0.0, 1.0))
+        }
+    }
+
+    /// Number of observations currently windowed.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Whether the window has seen enough queries for its average to be
+    /// trusted (at least half full).
+    pub fn warmed_up(&self) -> bool {
+        self.window.len() * 2 >= self.capacity
+    }
+
+    /// Forgets all observations (used right after a switch so the new
+    /// estimator is judged on its own record).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.sum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_over_window() {
+        let mut m = AccuracyMonitor::new(4);
+        assert_eq!(m.average(), None);
+        m.push(1.0);
+        m.push(0.5);
+        assert!((m.average().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn old_observations_fall_out() {
+        let mut m = AccuracyMonitor::new(2);
+        m.push(0.0);
+        m.push(0.0);
+        m.push(1.0);
+        m.push(1.0);
+        assert!((m.average().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn clamps_inputs() {
+        let mut m = AccuracyMonitor::new(2);
+        m.push(5.0);
+        m.push(-3.0);
+        assert!((m.average().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmed_up_at_half_capacity() {
+        let mut m = AccuracyMonitor::new(4);
+        m.push(1.0);
+        assert!(!m.warmed_up());
+        m.push(1.0);
+        assert!(m.warmed_up());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = AccuracyMonitor::new(4);
+        m.push(0.9);
+        m.reset();
+        assert!(m.is_empty());
+        assert_eq!(m.average(), None);
+    }
+
+    #[test]
+    fn long_stream_stays_numerically_sane() {
+        let mut m = AccuracyMonitor::new(8);
+        for i in 0..100_000 {
+            m.push((i % 10) as f64 / 10.0);
+        }
+        let avg = m.average().unwrap();
+        assert!((0.0..=1.0).contains(&avg));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive window")]
+    fn rejects_zero_capacity() {
+        let _ = AccuracyMonitor::new(0);
+    }
+}

@@ -1,0 +1,1033 @@
+//! The LATEST system module: phase orchestration and the Estimator Adaptor.
+
+use crate::adaptor::Recommender;
+use crate::features::{model_schema, QueryProfile, RewardScaler};
+use geostream::QueryType;
+use crate::log::{PhaseTag, QueryRecord, ShadowSample, SwitchEvent, SystemLog};
+use crate::monitor::AccuracyMonitor;
+use crate::estimation_accuracy;
+use estimators::{build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind};
+use exactdb::{ExactExecutor, SpatialIndexKind};
+use geostream::{Duration, GeoTextObject, RcDvq, SlidingWindow, Timestamp};
+use hoeffding::{DdmDetector, DriftState, HoeffdingTree, HoeffdingTreeConfig, TreeStats};
+use std::time::Instant;
+
+/// Configuration of a LATEST instance. Defaults mirror the paper's §VI-A
+/// setup at laptop scale.
+#[derive(Debug, Clone)]
+pub struct LatestConfig {
+    /// The time window `T` queries are answered over.
+    pub window_span: Duration,
+    /// Length of the warm-up (data only, no queries). The paper defaults
+    /// this to `T` so the window is full when queries start.
+    pub warmup: Duration,
+    /// Number of queries in the pre-training phase.
+    pub pretrain_queries: usize,
+    /// Accuracy threshold `τ`: switching below it.
+    pub tau: f64,
+    /// Pre-filling factor `β ∈ (0, 1)`: pre-filling starts below `β·τ`.
+    pub beta: f64,
+    /// Accuracy/latency trade-off `α ∈ [0, 1]` (0 = accuracy only).
+    pub alpha: f64,
+    /// Moving-average window (queries) of the accuracy monitor.
+    pub accuracy_window: usize,
+    /// Minimum incremental queries between consecutive switches
+    /// (hysteresis so a single noisy batch cannot thrash).
+    pub min_switch_spacing: usize,
+    /// A replacement is only pre-filled when its learned reward for the
+    /// current query type beats the active estimator's by this margin —
+    /// switching between statistically indistinguishable estimators is
+    /// churn, not adaptation.
+    pub switch_margin: f64,
+    /// The default estimator employed when the incremental phase starts.
+    pub default_estimator: EstimatorKind,
+    /// Sizing of the underlying estimators.
+    pub estimator_config: EstimatorConfig,
+    /// Hoeffding tree configuration (paper: info gain + majority class).
+    pub tree_config: HoeffdingTreeConfig,
+    /// Spatial backend of the exact executor.
+    pub index_kind: SpatialIndexKind,
+    /// Keep *all* estimators maintained and measure each per query (the
+    /// paper's figures plot every estimator's latency/accuracy). Costs
+    /// memory and time; off by default.
+    pub shadow_metrics: bool,
+    /// Retrain trigger (§V-D): reset and regrow the tree when the mean
+    /// relative error since the last (re)training exceeds this, if set.
+    pub retrain_error_threshold: Option<f64>,
+    /// DDM-based retraining (§V-D's "overall error rate" trigger): watch
+    /// the tree's own prediction errors and reset it on detected drift.
+    pub drift_detection: bool,
+    /// Ablation knobs for the design-choice experiments. All on for the
+    /// full LATEST protocol.
+    pub ablation: AblationConfig,
+}
+
+/// Switches individual LATEST design choices off for ablation studies
+/// (the `experiments ablation` harness target sweeps these).
+#[derive(Debug, Clone)]
+pub struct AblationConfig {
+    /// Pre-fill the replacement below `β·τ` before switching at `τ`
+    /// (§V-D). Off: replacements are built cold at switch time, so the new
+    /// estimator answers from whatever it can ingest after activation.
+    pub prefill: bool,
+    /// Consult the Hoeffding tree when recommending (off: EWMA rewards
+    /// only — is the learning model actually earning its keep?).
+    pub use_tree: bool,
+    /// Recommend for the recent workload *mix* (off: the single next
+    /// query's profile decides, which thrashes on interleaved workloads).
+    pub mix_recommendation: bool,
+    /// Allow switching at all (off: the default estimator serves the whole
+    /// stream — the static-baseline comparison).
+    pub switching: bool,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        AblationConfig {
+            prefill: true,
+            use_tree: true,
+            mix_recommendation: true,
+            switching: true,
+        }
+    }
+}
+
+impl Default for LatestConfig {
+    fn default() -> Self {
+        LatestConfig {
+            window_span: Duration::from_mins(10),
+            warmup: Duration::from_mins(10),
+            pretrain_queries: 300,
+            tau: 0.75,
+            beta: 0.9,
+            alpha: 0.5,
+            accuracy_window: 48,
+            min_switch_spacing: 64,
+            switch_margin: 0.03,
+            default_estimator: EstimatorKind::Rsh,
+            estimator_config: EstimatorConfig::default(),
+            tree_config: HoeffdingTreeConfig {
+                // Workload records are plentiful and several features often
+                // separate the classes equally well (best-vs-second gain
+                // gap ≈ 0), so react faster than the generic VFDT default:
+                // smaller grace period, looser δ, and a tie threshold wide
+                // enough that a clean split does not need tens of
+                // thousands of records per leaf (R = log2(6) here).
+                grace_period: 50,
+                split_confidence: 1e-4,
+                tie_threshold: 0.25,
+                ..HoeffdingTreeConfig::default()
+            },
+            index_kind: SpatialIndexKind::Grid,
+            shadow_metrics: false,
+            retrain_error_threshold: None,
+            drift_detection: true,
+            ablation: AblationConfig::default(),
+        }
+    }
+}
+
+/// What a single estimation query returned.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The estimate LATEST answered with.
+    pub estimate: f64,
+    /// Actual selectivity from the system logs.
+    pub actual: u64,
+    /// Latency of the estimate (milliseconds).
+    pub latency_ms: f64,
+    /// Relative-error-based accuracy of the answer.
+    pub accuracy: f64,
+    /// The estimator that produced the answer.
+    pub estimator: EstimatorKind,
+    /// Phase the query was served in.
+    pub phase: PhaseTag,
+    /// Whether this query triggered an estimator switch.
+    pub switched: bool,
+}
+
+enum Phase {
+    /// Warm-up: all estimators pre-filling, no queries expected.
+    WarmUp { pool: Vec<BoxedEstimator> },
+    /// Pre-training: every query runs on the whole pool.
+    PreTraining { pool: Vec<BoxedEstimator> },
+    /// Incremental learning: one active estimator (+ optional prefill).
+    Incremental {
+        active: BoxedEstimator,
+        prefill: Option<BoxedEstimator>,
+        /// Shadow pool for per-estimator metrics, when enabled.
+        shadow: Vec<BoxedEstimator>,
+    },
+}
+
+/// The LATEST module. Drive it with [`Latest::ingest`] for stream objects
+/// and [`Latest::query`] for estimation queries; read
+/// [`Latest::log`] afterwards.
+pub struct Latest {
+    config: LatestConfig,
+    window: SlidingWindow,
+    executor: ExactExecutor,
+    phase: Phase,
+    tree: HoeffdingTree,
+    recommender: Recommender,
+    scaler: RewardScaler,
+    monitor: AccuracyMonitor,
+    log: SystemLog,
+    queries_seen: u64,
+    queries_since_switch: usize,
+    /// Aggregate relative error since the last tree (re)training.
+    error_sum: f64,
+    error_count: u64,
+    /// DDM detector over the tree's own prediction errors.
+    drift: DdmDetector,
+    /// Model retrainings triggered by drift detection.
+    pub(crate) drift_retrainings: u64,
+    /// Query types of the most recent incremental queries (the workload
+    /// mix the adaptor optimizes for).
+    recent_types: std::collections::VecDeque<QueryType>,
+    /// EWMA representative profile per query type, for consulting the tree
+    /// about a *mix* rather than a single query.
+    type_profiles: [Option<QueryProfile>; 3],
+    evict_buf: Vec<GeoTextObject>,
+}
+
+impl Latest {
+    /// Creates a LATEST instance in the warm-up phase.
+    pub fn new(config: LatestConfig) -> Self {
+        assert!(config.tau > 0.0 && config.tau < 1.0, "tau must be in (0,1)");
+        assert!(
+            config.beta > 0.0 && config.beta < 1.0,
+            "beta must be in (0,1)"
+        );
+        let pool: Vec<BoxedEstimator> = EstimatorKind::ALL
+            .iter()
+            .map(|&k| build_estimator(k, &config.estimator_config))
+            .collect();
+        Latest {
+            window: SlidingWindow::new(config.window_span),
+            executor: ExactExecutor::new(config.estimator_config.domain, config.index_kind),
+            phase: Phase::WarmUp { pool },
+            tree: HoeffdingTree::new(model_schema(), config.tree_config.clone()),
+            recommender: Recommender::new(),
+            scaler: RewardScaler::new(config.alpha),
+            monitor: AccuracyMonitor::new(config.accuracy_window),
+            log: SystemLog::new(),
+            queries_seen: 0,
+            queries_since_switch: 0,
+            error_sum: 0.0,
+            error_count: 0,
+            drift: DdmDetector::default(),
+            drift_retrainings: 0,
+            recent_types: std::collections::VecDeque::new(),
+            type_profiles: [None, None, None],
+            evict_buf: Vec::new(),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LatestConfig {
+        &self.config
+    }
+
+    /// The current phase tag.
+    pub fn phase(&self) -> PhaseTag {
+        match self.phase {
+            Phase::WarmUp { .. } => PhaseTag::WarmUp,
+            Phase::PreTraining { .. } => PhaseTag::PreTraining,
+            Phase::Incremental { .. } => PhaseTag::Incremental,
+        }
+    }
+
+    /// The estimator currently employed (the pre-training default until the
+    /// incremental phase starts).
+    pub fn active_kind(&self) -> EstimatorKind {
+        match &self.phase {
+            Phase::Incremental { active, .. } => active.kind(),
+            _ => self.config.default_estimator,
+        }
+    }
+
+    /// Whether a replacement estimator is currently pre-filling.
+    pub fn prefilling(&self) -> Option<EstimatorKind> {
+        match &self.phase {
+            Phase::Incremental {
+                prefill: Some(p), ..
+            } => Some(p.kind()),
+            _ => None,
+        }
+    }
+
+    /// Read access to the run log.
+    pub fn log(&self) -> &SystemLog {
+        &self.log
+    }
+
+    /// Shape statistics of the learning model.
+    pub fn tree_stats(&self) -> TreeStats {
+        self.tree.stats()
+    }
+
+    /// Number of drift-triggered model retrainings performed (§V-D).
+    pub fn drift_retrainings(&self) -> u64 {
+        self.drift_retrainings
+    }
+
+    /// Live window size.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Current stream time.
+    pub fn now(&self) -> Timestamp {
+        self.window.now()
+    }
+
+    /// Ingests one stream object, updating the window, the exact executor,
+    /// and whichever estimators the current phase maintains. Also advances
+    /// the warm-up → pre-training transition.
+    pub fn ingest(&mut self, obj: GeoTextObject) {
+        self.evict_buf.clear();
+        self.window.insert(obj.clone(), &mut self.evict_buf);
+        self.executor.insert(&obj);
+        // Split borrows: route insert/remove to the phase's estimators.
+        let evicted = std::mem::take(&mut self.evict_buf);
+        match &mut self.phase {
+            Phase::WarmUp { pool } | Phase::PreTraining { pool } => {
+                for est in pool.iter_mut() {
+                    est.insert(&obj);
+                    for gone in &evicted {
+                        est.remove(gone);
+                    }
+                }
+            }
+            Phase::Incremental {
+                active,
+                prefill,
+                shadow,
+            } => {
+                active.insert(&obj);
+                for gone in &evicted {
+                    active.remove(gone);
+                }
+                if let Some(p) = prefill {
+                    p.insert(&obj);
+                    for gone in &evicted {
+                        p.remove(gone);
+                    }
+                }
+                for est in shadow.iter_mut() {
+                    est.insert(&obj);
+                    for gone in &evicted {
+                        est.remove(gone);
+                    }
+                }
+            }
+        }
+        for gone in &evicted {
+            self.executor.remove(gone);
+        }
+        self.evict_buf = evicted;
+        self.maybe_leave_warmup();
+    }
+
+    fn maybe_leave_warmup(&mut self) {
+        if matches!(self.phase, Phase::WarmUp { .. })
+            && self.window.now() >= Timestamp::ZERO.after(self.config.warmup)
+        {
+            let Phase::WarmUp { pool } = std::mem::replace(
+                &mut self.phase,
+                Phase::PreTraining { pool: Vec::new() },
+            ) else {
+                unreachable!()
+            };
+            self.phase = Phase::PreTraining { pool };
+        }
+    }
+
+    /// Answers one estimation query at stream time `at`, returning the
+    /// outcome and updating the learning model, the monitor, and — if the
+    /// thresholds say so — the employed estimator.
+    pub fn query(&mut self, query: &RcDvq, at: Timestamp) -> QueryOutcome {
+        self.evict_buf.clear();
+        let mut evicted = std::mem::take(&mut self.evict_buf);
+        self.window.advance_to(at, &mut evicted);
+        for gone in &evicted {
+            self.executor.remove(gone);
+            match &mut self.phase {
+                Phase::WarmUp { pool } | Phase::PreTraining { pool } => {
+                    for est in pool.iter_mut() {
+                        est.remove(gone);
+                    }
+                }
+                Phase::Incremental {
+                    active,
+                    prefill,
+                    shadow,
+                } => {
+                    active.remove(gone);
+                    if let Some(p) = prefill {
+                        p.remove(gone);
+                    }
+                    for est in shadow.iter_mut() {
+                        est.remove(gone);
+                    }
+                }
+            }
+        }
+        self.evict_buf = evicted;
+
+        let seq = self.queries_seen;
+        self.queries_seen += 1;
+        let actual = self.executor.execute(query);
+        let profile = QueryProfile::of(query, &self.config.estimator_config.domain);
+
+        let outcome = match self.phase() {
+            PhaseTag::WarmUp | PhaseTag::PreTraining => {
+                self.pretraining_query(query, at, seq, actual, &profile)
+            }
+            PhaseTag::Incremental => {
+                self.incremental_query(query, at, seq, actual, &profile)
+            }
+        };
+        self.maybe_finish_pretraining();
+        outcome
+    }
+
+    /// Pre-training: run the query on the whole pool, score every
+    /// estimator, label the winner, and answer with the default estimator.
+    fn pretraining_query(
+        &mut self,
+        query: &RcDvq,
+        at: Timestamp,
+        seq: u64,
+        actual: u64,
+        profile: &QueryProfile,
+    ) -> QueryOutcome {
+        let default_kind = self.config.default_estimator;
+        let (Phase::WarmUp { pool } | Phase::PreTraining { pool }) = &mut self.phase else {
+            unreachable!("phase checked by caller")
+        };
+        let mut samples = Vec::with_capacity(pool.len());
+        for est in pool.iter_mut() {
+            let start = Instant::now();
+            let estimate = est.estimate(query);
+            let latency_ms = start.elapsed().as_secs_f64() * 1_000.0;
+            est.observe_query(query, actual);
+            samples.push(ShadowSample {
+                estimator: est.kind(),
+                estimate,
+                latency_ms,
+                accuracy: estimation_accuracy(estimate, actual),
+            });
+        }
+        for s in &samples {
+            self.scaler.observe_latency(s.latency_ms);
+        }
+        // Label: the estimator with the best α-weighted reward.
+        let mut best = samples[0].estimator;
+        let mut best_reward = f64::NEG_INFINITY;
+        for s in &samples {
+            let r = self.scaler.reward(s.accuracy, s.latency_ms);
+            self.recommender.observe(profile.query_type, s.estimator, r);
+            if r > best_reward {
+                best_reward = r;
+                best = s.estimator;
+            }
+        }
+        self.tree
+            .train(&profile.instance(default_kind), best.index());
+
+        let answer = samples
+            .iter()
+            .find(|s| s.estimator == default_kind)
+            .copied()
+            .expect("default estimator is in the pool");
+        self.track_error(answer.estimate, actual);
+        self.log.queries.push(QueryRecord {
+            seq,
+            at,
+            phase: self.phase(),
+            query_type: profile.query_type,
+            estimator: default_kind,
+            estimate: answer.estimate,
+            actual,
+            latency_ms: answer.latency_ms,
+            accuracy: answer.accuracy,
+            monitor_average: None,
+            shadow: samples,
+        });
+        QueryOutcome {
+            estimate: answer.estimate,
+            actual,
+            latency_ms: answer.latency_ms,
+            accuracy: answer.accuracy,
+            estimator: default_kind,
+            phase: self.phase(),
+            switched: false,
+        }
+    }
+
+    /// Ends pre-training once enough queries were harvested: wipe every
+    /// pool estimator except the default, which becomes the active one
+    /// (§V-C "all estimation structures are wiped out ... except the one
+    /// used at the beginning of the next phase").
+    fn maybe_finish_pretraining(&mut self) {
+        let done = matches!(&self.phase, Phase::PreTraining { .. })
+            && self.log.queries.len() >= self.config.pretrain_queries;
+        if !done {
+            return;
+        }
+        let Phase::PreTraining { pool } =
+            std::mem::replace(&mut self.phase, Phase::WarmUp { pool: Vec::new() })
+        else {
+            unreachable!()
+        };
+        let mut active = None;
+        let mut shadow = Vec::new();
+        for est in pool {
+            if est.kind() == self.config.default_estimator {
+                active = Some(est);
+            } else if self.config.shadow_metrics {
+                shadow.push(est);
+            }
+            // Otherwise dropped: wiped out to keep one live structure.
+        }
+        self.phase = Phase::Incremental {
+            active: active.expect("default estimator was in the pool"),
+            prefill: None,
+            shadow,
+        };
+        self.monitor.reset();
+        self.queries_since_switch = 0;
+    }
+
+    /// Incremental phase: answer with the active estimator, feed the
+    /// feedback loop, and run the adaptor's threshold logic.
+    fn incremental_query(
+        &mut self,
+        query: &RcDvq,
+        at: Timestamp,
+        seq: u64,
+        actual: u64,
+        profile: &QueryProfile,
+    ) -> QueryOutcome {
+        let tau = self.config.tau;
+        let prefill_threshold = self.config.beta * tau;
+        // Update the recent workload mix before destructuring the phase.
+        if self.recent_types.len() >= self.config.accuracy_window {
+            self.recent_types.pop_front();
+        }
+        self.recent_types.push_back(profile.query_type);
+        let slot = &mut self.type_profiles[profile.query_type.index() as usize];
+        *slot = Some(match slot {
+            None => *profile,
+            Some(prev) => QueryProfile {
+                query_type: profile.query_type,
+                keyword_count: ((prev.keyword_count as f64) * 0.9
+                    + (profile.keyword_count as f64) * 0.1)
+                    .round() as usize,
+                area_fraction: prev.area_fraction * 0.9 + profile.area_fraction * 0.1,
+            },
+        });
+        let mut type_weights = [0.0f64; 3];
+        for t in &self.recent_types {
+            type_weights[t.index() as usize] += 1.0;
+        }
+        let Phase::Incremental {
+            active,
+            prefill,
+            shadow,
+        } = &mut self.phase
+        else {
+            unreachable!("phase checked by caller")
+        };
+        let active_kind = active.kind();
+
+        let start = Instant::now();
+        let estimate = active.estimate(query);
+        let latency_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        let accuracy = estimation_accuracy(estimate, actual);
+        active.observe_query(query, actual);
+
+        // Shadow measurements for the figures, when enabled.
+        let mut samples = Vec::new();
+        if self.config.shadow_metrics {
+            samples.push(ShadowSample {
+                estimator: active_kind,
+                estimate,
+                latency_ms,
+                accuracy,
+            });
+            for est in shadow.iter_mut() {
+                let s = Instant::now();
+                let e = est.estimate(query);
+                let l = s.elapsed().as_secs_f64() * 1_000.0;
+                est.observe_query(query, actual);
+                samples.push(ShadowSample {
+                    estimator: est.kind(),
+                    estimate: e,
+                    latency_ms: l,
+                    accuracy: estimation_accuracy(e, actual),
+                });
+            }
+        }
+
+        // Feedback loop: scaler, EWMA rewards, Hoeffding training record.
+        self.scaler.observe_latency(latency_ms);
+        let reward = self.scaler.reward(accuracy, latency_ms);
+        self.recommender
+            .observe(profile.query_type, active_kind, reward);
+        if self.config.shadow_metrics {
+            for s in samples.iter().filter(|s| s.estimator != active_kind) {
+                self.scaler.observe_latency(s.latency_ms);
+                let r = self.scaler.reward(s.accuracy, s.latency_ms);
+                self.recommender.observe(profile.query_type, s.estimator, r);
+            }
+        }
+        // Train with the active estimator when it is doing well; otherwise
+        // teach the tree the best-known alternative for this query type.
+        let label = if reward >= tau {
+            active_kind
+        } else {
+            self.recommender
+                .best_by_reward(profile.query_type, Some(active_kind))
+        };
+        let instance = profile.instance(active_kind);
+        // §V-D retraining trigger: score the tree's own prediction before
+        // training on the record; sustained error growth (DDM drift) means
+        // the learned concept is stale — reset and regrow.
+        if self.config.drift_detection {
+            let wrong = self.tree.predict(&instance) != label.index();
+            if self.drift.observe(wrong) == DriftState::Drift {
+                self.tree.reset();
+                self.drift.reset();
+                self.drift_retrainings += 1;
+            }
+        }
+        self.tree.train(&instance, label.index());
+
+        self.monitor.push(accuracy);
+        // track_error, inlined: the destructured phase borrow above blocks
+        // `&mut self` method calls, but disjoint field access is fine.
+        let rel = (estimate - actual as f64).abs() / (actual as f64).max(1.0);
+        self.error_sum += rel.min(10.0);
+        self.error_count += 1;
+        self.queries_since_switch += 1;
+        let monitor_average = self.monitor.warmed_up().then(|| {
+            self.monitor
+                .average()
+                .expect("warmed_up implies observations")
+        });
+
+        // ---- Estimator Adaptor (§V-D) ----
+        let mut switched = false;
+        if let Some(avg) = monitor_average.filter(|_| self.config.ablation.switching) {
+            let spaced = self.queries_since_switch >= self.config.min_switch_spacing;
+            if avg >= prefill_threshold {
+                // Accuracy recovered: discard any pre-filling candidate.
+                if prefill.is_some() {
+                    *prefill = None;
+                    self.log.prefill_discards.push(seq);
+                }
+            } else if spaced {
+                if prefill.is_none() {
+                    // Entering the danger zone: consult the model about the
+                    // recent workload *mix* and start pre-filling its
+                    // recommendation from the live window — but only if the
+                    // model actually expects the candidate to do better
+                    // than what we have (switch margin).
+                    let rec = if self.config.ablation.mix_recommendation {
+                        self.recommender.recommend_with(
+                            &self.tree,
+                            &self.type_profiles,
+                            &type_weights,
+                            active_kind,
+                            self.config.ablation.use_tree,
+                        )
+                    } else {
+                        // Ablation: the single next query's profile decides.
+                        self.recommender.recommend(&self.tree, profile, active_kind)
+                    };
+                    let advantage = self.recommender.expected_reward(&type_weights, rec)
+                        - self.recommender.expected_reward(&type_weights, active_kind);
+                    if advantage > self.config.switch_margin {
+                        let candidate = if self.config.ablation.prefill {
+                            let mut c = build_estimator(rec, &self.config.estimator_config);
+                            for obj in self.window.iter() {
+                                c.insert(obj);
+                            }
+                            c
+                        } else {
+                            // Ablation: cold replacement, no pre-filling.
+                            build_estimator(rec, &self.config.estimator_config)
+                        };
+                        *prefill = Some(candidate);
+                        self.log.prefill_starts.push(seq);
+                    }
+                }
+                // Below τ with a prefilled replacement ready: activate it.
+                // (No prefill means the model sees no better option — stay
+                // on the current estimator rather than churn.)
+                if avg < tau && prefill.is_some() {
+                    let replacement = prefill.take().expect("checked");
+                    let old = std::mem::replace(active, replacement);
+                    if self.config.shadow_metrics {
+                        // Keep the old estimator measurable in shadow mode.
+                        let new_kind = active.kind();
+                        shadow.retain(|e| e.kind() != new_kind);
+                        shadow.push(old);
+                    }
+                    self.log.switches.push(SwitchEvent {
+                        at_seq: seq,
+                        at,
+                        from: active_kind,
+                        to: active.kind(),
+                        trigger_average: avg,
+                    });
+                    self.monitor.reset();
+                    self.queries_since_switch = 0;
+                    switched = true;
+                }
+            }
+        }
+
+        // maybe_retrain, inlined for the same borrow reason (§V-D manual
+        // retraining trigger).
+        if let Some(threshold) = self.config.retrain_error_threshold {
+            if self.error_count >= 200 && self.error_sum / self.error_count as f64 > threshold {
+                self.tree.reset();
+                self.error_sum = 0.0;
+                self.error_count = 0;
+            }
+        }
+
+        self.log.queries.push(QueryRecord {
+            seq,
+            at,
+            phase: PhaseTag::Incremental,
+            query_type: profile.query_type,
+            estimator: active_kind,
+            estimate,
+            actual,
+            latency_ms,
+            accuracy,
+            monitor_average,
+            shadow: samples,
+        });
+        QueryOutcome {
+            estimate,
+            actual,
+            latency_ms,
+            accuracy,
+            estimator: active_kind,
+            phase: PhaseTag::Incremental,
+            switched,
+        }
+    }
+
+    fn track_error(&mut self, estimate: f64, actual: u64) {
+        let rel = (estimate - actual as f64).abs() / (actual as f64).max(1.0);
+        self.error_sum += rel.min(10.0); // cap outliers
+        self.error_count += 1;
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::synth::DatasetSpec;
+    use geostream::{KeywordId, Rect};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config() -> LatestConfig {
+        let spec = DatasetSpec::twitter();
+        LatestConfig {
+            window_span: Duration::from_secs(60),
+            warmup: Duration::from_secs(60),
+            pretrain_queries: 40,
+            accuracy_window: 16,
+            min_switch_spacing: 16,
+            estimator_config: EstimatorConfig {
+                domain: spec.domain,
+                reservoir_capacity: 2_000,
+                ..EstimatorConfig::default()
+            },
+            ..LatestConfig::default()
+        }
+    }
+
+    /// Drives warm-up with synthetic data, returns the generator for more.
+    fn warm_up(latest: &mut Latest) -> geostream::synth::ObjectGenerator {
+        let mut gen = DatasetSpec::twitter().generator();
+        while latest.phase() == PhaseTag::WarmUp {
+            latest.ingest(gen.next_object());
+        }
+        gen
+    }
+
+    fn random_query(rng: &mut StdRng, domain: &Rect) -> RcDvq {
+        let cx = rng.gen_range(domain.min_x..domain.max_x);
+        let cy = rng.gen_range(domain.min_y..domain.max_y);
+        let half = rng.gen_range(0.5..4.0);
+        match rng.gen_range(0..3) {
+            0 => RcDvq::spatial(Rect::centered_clamped(
+                geostream::Point::new(cx, cy),
+                half,
+                half,
+                domain,
+            )),
+            1 => RcDvq::keyword(vec![KeywordId(rng.gen_range(0..100))]),
+            _ => RcDvq::hybrid(
+                Rect::centered_clamped(geostream::Point::new(cx, cy), half, half, domain),
+                vec![KeywordId(rng.gen_range(0..100))],
+            ),
+        }
+    }
+
+    #[test]
+    fn phases_progress() {
+        let config = small_config();
+        let domain = config.estimator_config.domain;
+        let mut latest = Latest::new(config);
+        assert_eq!(latest.phase(), PhaseTag::WarmUp);
+        let mut gen = warm_up(&mut latest);
+        assert_eq!(latest.phase(), PhaseTag::PreTraining);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            for _ in 0..5 {
+                latest.ingest(gen.next_object());
+            }
+            let q = random_query(&mut rng, &domain);
+            let out = latest.query(&q, gen.clock());
+            assert!(out.estimate >= 0.0);
+        }
+        assert_eq!(latest.phase(), PhaseTag::Incremental);
+        assert_eq!(latest.active_kind(), EstimatorKind::Rsh);
+    }
+
+    #[test]
+    fn pretraining_answers_with_default_and_trains_tree() {
+        let config = small_config();
+        let domain = config.estimator_config.domain;
+        let mut latest = Latest::new(config);
+        let mut gen = warm_up(&mut latest);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            latest.ingest(gen.next_object());
+            let q = random_query(&mut rng, &domain);
+            let out = latest.query(&q, gen.clock());
+            assert_eq!(out.estimator, EstimatorKind::Rsh);
+            assert_eq!(out.phase, PhaseTag::PreTraining);
+        }
+        assert!(latest.tree_stats().instances_seen >= 10);
+        // Every pre-training record carries all six shadow samples.
+        let rec = &latest.log().queries[0];
+        assert_eq!(rec.shadow.len(), 6);
+    }
+
+    #[test]
+    fn incremental_queries_answer_reasonably() {
+        let config = small_config();
+        let domain = config.estimator_config.domain;
+        let mut latest = Latest::new(config);
+        let mut gen = warm_up(&mut latest);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..60 {
+            for _ in 0..3 {
+                latest.ingest(gen.next_object());
+            }
+            let q = random_query(&mut rng, &domain);
+            latest.query(&q, gen.clock());
+        }
+        let log = latest.log();
+        assert!(log.incremental_queries() > 0);
+        let acc = log.mean_incremental_accuracy().unwrap();
+        assert!(acc > 0.3, "incremental accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn switches_away_from_bad_estimator() {
+        // Force H4096 active, then hammer with keyword queries it cannot
+        // answer — the adaptor must switch away.
+        let mut config = small_config();
+        config.default_estimator = EstimatorKind::H4096;
+        config.pretrain_queries = 20;
+        config.min_switch_spacing = 8;
+        config.accuracy_window = 8;
+        let mut latest = Latest::new(config);
+        let mut gen = warm_up(&mut latest);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Pre-train with keyword queries so rewards already favor samplers.
+        for _ in 0..20 {
+            latest.ingest(gen.next_object());
+            let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
+            latest.query(&q, gen.clock());
+        }
+        assert_eq!(latest.phase(), PhaseTag::Incremental);
+        assert_eq!(latest.active_kind(), EstimatorKind::H4096);
+        for _ in 0..80 {
+            for _ in 0..2 {
+                latest.ingest(gen.next_object());
+            }
+            let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
+            latest.query(&q, gen.clock());
+            if latest.active_kind() != EstimatorKind::H4096 {
+                break;
+            }
+        }
+        assert_ne!(
+            latest.active_kind(),
+            EstimatorKind::H4096,
+            "never switched away from a keyword-blind estimator"
+        );
+        assert!(!latest.log().switches.is_empty());
+        let sw = latest.log().switches[0];
+        assert_eq!(sw.from, EstimatorKind::H4096);
+        assert!(sw.trigger_average < latest.config().tau);
+    }
+
+    #[test]
+    fn good_estimator_is_kept() {
+        // RSH on well-behaved mixed queries should not thrash.
+        let config = small_config();
+        let domain = config.estimator_config.domain;
+        let mut latest = Latest::new(config);
+        let mut gen = warm_up(&mut latest);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..150 {
+            for _ in 0..3 {
+                latest.ingest(gen.next_object());
+            }
+            // Large ranges → high actual counts → sampler accuracy high.
+            let q = RcDvq::spatial(Rect::centered_clamped(
+                geostream::Point::new(
+                    rng.gen_range(domain.min_x..domain.max_x),
+                    rng.gen_range(domain.min_y..domain.max_y),
+                ),
+                20.0,
+                10.0,
+                &domain,
+            ));
+            latest.query(&q, gen.clock());
+        }
+        assert!(
+            latest.log().switches.len() <= 1,
+            "stable workload caused {} switches",
+            latest.log().switches.len()
+        );
+    }
+
+    #[test]
+    fn shadow_metrics_record_every_estimator() {
+        let mut config = small_config();
+        config.shadow_metrics = true;
+        config.pretrain_queries = 10;
+        let domain = config.estimator_config.domain;
+        let mut latest = Latest::new(config);
+        let mut gen = warm_up(&mut latest);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            latest.ingest(gen.next_object());
+            let q = random_query(&mut rng, &domain);
+            latest.query(&q, gen.clock());
+        }
+        let last = latest.log().queries.last().unwrap();
+        assert_eq!(last.phase, PhaseTag::Incremental);
+        assert_eq!(last.shadow.len(), 6, "shadow mode must measure all six");
+    }
+
+    #[test]
+    fn window_eviction_reaches_estimators() {
+        let mut config = small_config();
+        config.window_span = Duration::from_secs(5);
+        config.warmup = Duration::from_secs(5);
+        let mut latest = Latest::new(config);
+        let mut gen = DatasetSpec::twitter().generator();
+        for _ in 0..3_000 {
+            latest.ingest(gen.next_object());
+        }
+        // Window span is 5s and objects arrive ~4ms apart ⇒ far fewer live
+        // than ingested.
+        assert!(latest.window_len() < 3_000);
+        assert_eq!(latest.executor.len(), latest.window_len());
+    }
+
+    #[test]
+    fn switching_ablation_pins_default_estimator() {
+        let mut config = small_config();
+        config.default_estimator = EstimatorKind::H4096;
+        config.ablation.switching = false;
+        let mut latest = Latest::new(config);
+        let mut gen = warm_up(&mut latest);
+        let mut rng = StdRng::seed_from_u64(21);
+        // Keyword flood: full LATEST would abandon the histogram; the
+        // no-switching ablation must stay put.
+        for _ in 0..120 {
+            latest.ingest(gen.next_object());
+            let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
+            latest.query(&q, gen.clock());
+        }
+        assert_eq!(latest.active_kind(), EstimatorKind::H4096);
+        assert!(latest.log().switches.is_empty());
+    }
+
+    #[test]
+    fn cold_switch_ablation_still_switches() {
+        let mut config = small_config();
+        config.default_estimator = EstimatorKind::H4096;
+        config.pretrain_queries = 20;
+        config.min_switch_spacing = 8;
+        config.accuracy_window = 8;
+        config.ablation.prefill = false;
+        let mut latest = Latest::new(config);
+        let mut gen = warm_up(&mut latest);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..120 {
+            for _ in 0..2 {
+                latest.ingest(gen.next_object());
+            }
+            let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
+            latest.query(&q, gen.clock());
+            if latest.active_kind() != EstimatorKind::H4096 {
+                break;
+            }
+        }
+        // Switching still happens; the replacement just starts cold.
+        assert_ne!(latest.active_kind(), EstimatorKind::H4096);
+    }
+
+    #[test]
+    fn ewma_only_ablation_still_recommends() {
+        let mut config = small_config();
+        config.default_estimator = EstimatorKind::H4096;
+        config.pretrain_queries = 20;
+        config.min_switch_spacing = 8;
+        config.accuracy_window = 8;
+        config.ablation.use_tree = false;
+        let mut latest = Latest::new(config);
+        let mut gen = warm_up(&mut latest);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..120 {
+            for _ in 0..2 {
+                latest.ingest(gen.next_object());
+            }
+            let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
+            latest.query(&q, gen.clock());
+            if latest.active_kind() != EstimatorKind::H4096 {
+                break;
+            }
+        }
+        assert_ne!(latest.active_kind(), EstimatorKind::H4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be in")]
+    fn rejects_bad_tau() {
+        let mut config = small_config();
+        config.tau = 1.5;
+        let _ = Latest::new(config);
+    }
+}

@@ -1,0 +1,267 @@
+//! Minimal dense neural-network substrate for the FFN baseline.
+//!
+//! Implemented from scratch (the sanctioned crate list has no ML library):
+//! dense layers with unipolar sigmoid activations, mean-squared-error loss,
+//! and SGD with momentum — the exact hyperparameter family the paper's
+//! WEKA FFN uses (learning rate 0.3, momentum 0.2, unipolar sigmoid).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Unipolar (logistic) sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One fully connected layer with sigmoid activation.
+#[derive(Debug, Clone)]
+struct DenseLayer {
+    /// `out × in` weight matrix, row-major.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    /// Momentum buffers mirroring `weights` / `biases`.
+    w_vel: Vec<f64>,
+    b_vel: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+    /// Output layer is linear (no sigmoid) for regression targets.
+    linear: bool,
+}
+
+impl DenseLayer {
+    fn new(inputs: usize, outputs: usize, linear: bool, rng: &mut StdRng) -> Self {
+        // Xavier-ish init keeps sigmoids out of saturation at start.
+        let scale = (1.0 / inputs as f64).sqrt();
+        DenseLayer {
+            weights: (0..inputs * outputs)
+                .map(|_| rng.gen_range(-scale..scale))
+                .collect(),
+            biases: vec![0.0; outputs],
+            w_vel: vec![0.0; inputs * outputs],
+            b_vel: vec![0.0; outputs],
+            inputs,
+            outputs,
+            linear,
+        }
+    }
+
+    fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
+        debug_assert_eq!(input.len(), self.inputs);
+        output.clear();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let z: f64 = row
+                .iter()
+                .zip(input)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+                + self.biases[o];
+            output.push(if self.linear { z } else { sigmoid(z) });
+        }
+    }
+
+    /// Backpropagates `delta` (∂L/∂z of this layer), applying an SGD-with-
+    /// momentum update, and returns ∂L/∂activation of the previous layer.
+    fn backward(
+        &mut self,
+        input: &[f64],
+        output: &[f64],
+        delta_out: &[f64],
+        lr: f64,
+        momentum: f64,
+    ) -> Vec<f64> {
+        // ∂L/∂z: for sigmoid layers scale by σ'(z) = y(1−y).
+        let dz: Vec<f64> = delta_out
+            .iter()
+            .zip(output)
+            .map(|(&d, &y)| if self.linear { d } else { d * y * (1.0 - y) })
+            .collect();
+        let mut din = vec![0.0; self.inputs];
+        for (o, &dz_o) in dz.iter().enumerate() {
+            for i in 0..self.inputs {
+                let idx = o * self.inputs + i;
+                din[i] += self.weights[idx] * dz_o;
+                let grad = dz_o * input[i];
+                self.w_vel[idx] = momentum * self.w_vel[idx] - lr * grad;
+                self.weights[idx] += self.w_vel[idx];
+            }
+            self.b_vel[o] = momentum * self.b_vel[o] - lr * dz_o;
+            self.biases[o] += self.b_vel[o];
+        }
+        din
+    }
+}
+
+/// A small multilayer perceptron: sigmoid hidden layers, linear output,
+/// trained online with SGD + momentum on squared error.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+    lr: f64,
+    momentum: f64,
+    /// Reused activation buffers, one per layer boundary.
+    activations: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[8, 16, 1]`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize], lr: f64, momentum: f64, seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers: Vec<DenseLayer> = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| DenseLayer::new(w[0], w[1], i == widths.len() - 2, &mut rng))
+            .collect();
+        let activations = widths.iter().map(|&w| Vec::with_capacity(w)).collect();
+        Mlp {
+            layers,
+            lr,
+            momentum,
+            activations,
+        }
+    }
+
+    /// Input width of the network.
+    pub fn input_width(&self) -> usize {
+        self.layers[0].inputs
+    }
+
+    /// Runs a forward pass, returning the output vector.
+    pub fn forward(&mut self, input: &[f64]) -> &[f64] {
+        self.activations[0].clear();
+        self.activations[0].extend_from_slice(input);
+        for (i, layer) in self.layers.iter().enumerate() {
+            // Split borrow: activations[i] is input, activations[i+1] output.
+            let (before, after) = self.activations.split_at_mut(i + 1);
+            layer.forward(&before[i], &mut after[0]);
+        }
+        self.activations.last().expect("has layers")
+    }
+
+    /// Immutable forward pass with local buffers — for read-only callers
+    /// (e.g. `estimate` paths that only hold `&self`).
+    pub fn infer(&self, input: &[f64]) -> Vec<f64> {
+        let mut current = input.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+        }
+        current
+    }
+
+    /// One online SGD step on `(input, target)`. Returns the squared error
+    /// before the update.
+    pub fn train(&mut self, input: &[f64], target: &[f64]) -> f64 {
+        let output = self.forward(input).to_vec();
+        debug_assert_eq!(output.len(), target.len());
+        let mut delta: Vec<f64> = output.iter().zip(target).map(|(y, t)| y - t).collect();
+        let loss: f64 = delta.iter().map(|d| d * d).sum();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let input_act = self.activations[i].clone();
+            let output_act = self.activations[i + 1].clone();
+            delta = layer.backward(&input_act, &output_act, &delta, self.lr, self.momentum);
+        }
+        loss
+    }
+
+    /// Approximate heap bytes of parameters and buffers.
+    pub fn memory_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| (l.weights.len() * 2 + l.biases.len() * 2) * std::mem::size_of::<f64>())
+            .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.99);
+        assert!(sigmoid(-10.0) < 0.01);
+    }
+
+    #[test]
+    fn forward_has_output_width() {
+        let mut mlp = Mlp::new(&[3, 5, 2], 0.3, 0.2, 1);
+        let out = mlp.forward(&[0.1, 0.2, 0.3]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        // y = 2a − b, learnable by the linear output layer alone.
+        let mut mlp = Mlp::new(&[2, 4, 1], 0.1, 0.2, 7);
+        let mut s = 13u64;
+        for _ in 0..8_000 {
+            s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let a = ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+            s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let b = ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+            mlp.train(&[a, b], &[2.0 * a - b]);
+        }
+        for &(a, b) in &[(0.5, 0.25), (-0.3, 0.6), (0.0, 0.0)] {
+            let y = mlp.forward(&[a, b])[0];
+            assert!(
+                (y - (2.0 * a - b)).abs() < 0.15,
+                "bad fit at ({a},{b}): {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        // Requires the hidden layer; classic sanity check for backprop.
+        let mut mlp = Mlp::new(&[2, 8, 1], 0.3, 0.2, 42);
+        let cases = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        for _ in 0..6_000 {
+            for (x, t) in &cases {
+                mlp.train(x, &[*t]);
+            }
+        }
+        for (x, t) in &cases {
+            let y = mlp.forward(x)[0];
+            assert!((y - t).abs() < 0.3, "xor({x:?}) = {y}, want {t}");
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut mlp = Mlp::new(&[1, 6, 1], 0.3, 0.2, 3);
+        let first = mlp.train(&[0.7], &[0.9]);
+        let mut last = first;
+        for _ in 0..200 {
+            last = mlp.train(&[0.7], &[0.9]);
+        }
+        assert!(last < first * 0.1, "loss did not shrink: {first} → {last}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Mlp::new(&[2, 3, 1], 0.3, 0.2, 5);
+        let mut b = Mlp::new(&[2, 3, 1], 0.3, 0.2, 5);
+        assert_eq!(a.forward(&[0.1, 0.9]), b.forward(&[0.1, 0.9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_single_width() {
+        let _ = Mlp::new(&[3], 0.3, 0.2, 1);
+    }
+}

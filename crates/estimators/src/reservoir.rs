@@ -1,0 +1,282 @@
+//! Reservoir sampling list (the paper's `RSL`), Vitter's *algorithm R*.
+//!
+//! A fixed-capacity uniform sample of the stream: the first `N` arrivals
+//! fill the list; afterwards the `i`-th arrival replaces a random slot with
+//! probability `N/i`. Window eviction retracts expired samples, so the
+//! reservoir stays an (approximately) uniform sample of the *live window*.
+//!
+//! An estimate scans the whole sample and scales the match fraction by the
+//! window population — accurate for every predicate combination (samples
+//! carry full objects), but linear in the sample size, which is why RSL
+//! shows the highest latencies among the sampling estimators in the paper.
+
+use crate::traits::{EstimatorConfig, EstimatorKind, SelectivityEstimator};
+use geostream::{GeoTextObject, ObjectId, RcDvq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Algorithm-R reservoir sample of the window.
+pub struct ReservoirList {
+    capacity: usize,
+    sample: Vec<GeoTextObject>,
+    /// `oid → slot` for O(1) retraction of evicted objects.
+    slots: HashMap<ObjectId, usize>,
+    /// Arrivals seen since the reservoir was last (re)started; drives the
+    /// algorithm-R replacement probability.
+    seen: u64,
+    /// Live window population (inserts − removes).
+    population: u64,
+    rng: StdRng,
+}
+
+impl ReservoirList {
+    /// Builds an empty reservoir per `config` (capacity scales with the
+    /// memory budget).
+    pub fn new(config: &EstimatorConfig) -> Self {
+        let capacity = config.scaled_reservoir();
+        ReservoirList {
+            capacity,
+            sample: Vec::with_capacity(capacity.min(1 << 20)),
+            slots: HashMap::new(),
+            seen: 0,
+            population: 0,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x5151),
+        }
+    }
+
+    /// The configured sample capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of sampled objects.
+    pub fn sample_len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Counts sample objects matching `query` and scales to the window
+    /// population.
+    fn scaled_matches(&self, query: &RcDvq) -> f64 {
+        if self.sample.is_empty() {
+            return 0.0;
+        }
+        let matches = self.sample.iter().filter(|o| query.matches(o)).count();
+        matches as f64 / self.sample.len() as f64 * self.population as f64
+    }
+
+    fn place(&mut self, obj: GeoTextObject, slot: usize) {
+        if let Some(old) = self.sample.get(slot) {
+            self.slots.remove(&old.oid);
+        }
+        self.slots.insert(obj.oid, slot);
+        if slot == self.sample.len() {
+            self.sample.push(obj);
+        } else {
+            self.sample[slot] = obj;
+        }
+    }
+}
+
+impl SelectivityEstimator for ReservoirList {
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::Rsl
+    }
+
+    fn insert(&mut self, obj: &GeoTextObject) {
+        self.population += 1;
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.place(obj.clone(), self.sample.len());
+        } else {
+            // Algorithm R: replace a random slot with probability N/seen.
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.place(obj.clone(), j as usize);
+            }
+        }
+    }
+
+    fn remove(&mut self, obj: &GeoTextObject) {
+        self.population = self.population.saturating_sub(1);
+        if let Some(slot) = self.slots.remove(&obj.oid) {
+            // Swap-remove keeps the vector dense; fix the moved object's slot.
+            let last = self.sample.len() - 1;
+            self.sample.swap(slot, last);
+            self.sample.pop();
+            if slot < self.sample.len() {
+                self.slots.insert(self.sample[slot].oid, slot);
+            }
+        }
+    }
+
+    fn estimate(&self, query: &RcDvq) -> f64 {
+        self.scaled_matches(query)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.sample
+            .iter()
+            .map(GeoTextObject::approx_bytes)
+            .sum::<usize>()
+            + self.slots.len()
+                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
+            + std::mem::size_of::<Self>()
+    }
+
+    fn clear(&mut self) {
+        self.sample.clear();
+        self.slots.clear();
+        self.seen = 0;
+        self.population = 0;
+    }
+
+    fn population(&self) -> u64 {
+        self.population
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{KeywordId, Point, Rect, Timestamp};
+
+    fn config(cap: usize) -> EstimatorConfig {
+        EstimatorConfig {
+            reservoir_capacity: cap,
+            ..EstimatorConfig::default()
+        }
+    }
+
+    fn obj(id: u64, x: f64, y: f64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(id),
+            Point::new(x, y),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp::ZERO,
+        )
+    }
+
+    #[test]
+    fn fills_to_capacity_then_samples() {
+        let mut r = ReservoirList::new(&config(50));
+        for i in 0..200 {
+            r.insert(&obj(i, 0.0, 0.0, &[]));
+        }
+        assert_eq!(r.sample_len(), 50);
+        assert_eq!(r.population(), 200);
+    }
+
+    #[test]
+    fn exact_when_sample_holds_everything() {
+        let mut r = ReservoirList::new(&config(1_000));
+        for i in 0..100 {
+            let x = if i < 30 { 1.0 } else { 50.0 };
+            r.insert(&obj(i, x, 1.0, &[i as u32 % 5]));
+        }
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 10.0, 10.0));
+        assert!((r.estimate(&q) - 30.0).abs() < 1e-9);
+        let qk = RcDvq::keyword(vec![KeywordId(0)]);
+        assert!((r.estimate(&qk) - 20.0).abs() < 1e-9);
+        let qh = RcDvq::hybrid(Rect::new(0.0, 0.0, 10.0, 10.0), vec![KeywordId(0)]);
+        assert!((r.estimate(&qh) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_scales_to_population() {
+        let mut r = ReservoirList::new(&config(100));
+        // 10_000 objects, 50% in the query range.
+        for i in 0..10_000 {
+            let x = if i % 2 == 0 { 1.0 } else { 50.0 };
+            r.insert(&obj(i, x, 1.0, &[]));
+        }
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let est = r.estimate(&q);
+        assert!(
+            (est - 5_000.0).abs() < 1_500.0,
+            "estimate too far from truth: {est}"
+        );
+    }
+
+    #[test]
+    fn sample_is_unbiased_ish() {
+        // Insert 0..10_000; the sample mean of ids should be near 5_000.
+        let mut r = ReservoirList::new(&config(500));
+        for i in 0..10_000 {
+            r.insert(&obj(i, 0.0, 0.0, &[]));
+        }
+        let mean: f64 =
+            r.sample.iter().map(|o| o.oid.0 as f64).sum::<f64>() / r.sample_len() as f64;
+        assert!((mean - 5_000.0).abs() < 600.0, "biased sample mean: {mean}");
+    }
+
+    #[test]
+    fn remove_retracts_sampled_objects() {
+        let mut r = ReservoirList::new(&config(100));
+        let kept = obj(1, 1.0, 1.0, &[]);
+        let evicted = obj(2, 1.0, 1.0, &[]);
+        r.insert(&kept);
+        r.insert(&evicted);
+        r.remove(&evicted);
+        assert_eq!(r.sample_len(), 1);
+        assert_eq!(r.population(), 1);
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 2.0, 2.0));
+        assert!((r.estimate(&q) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_of_unsampled_object_only_drops_population() {
+        let mut r = ReservoirList::new(&config(10));
+        for i in 0..1_000 {
+            r.insert(&obj(i, 0.0, 0.0, &[]));
+        }
+        let pop_before = r.population();
+        let len_before = r.sample_len();
+        // Find an id not in the sample.
+        let sampled: std::collections::HashSet<u64> =
+            r.sample.iter().map(|o| o.oid.0).collect();
+        let missing = (0..1_000).find(|i| !sampled.contains(i)).unwrap();
+        r.remove(&obj(missing, 0.0, 0.0, &[]));
+        assert_eq!(r.population(), pop_before - 1);
+        assert_eq!(r.sample_len(), len_before);
+    }
+
+    #[test]
+    fn empty_reservoir_estimates_zero() {
+        let r = ReservoirList::new(&config(10));
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(r.estimate(&q), 0.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = ReservoirList::new(&config(10));
+        for i in 0..100 {
+            r.insert(&obj(i, 0.0, 0.0, &[]));
+        }
+        r.clear();
+        assert_eq!(r.sample_len(), 0);
+        assert_eq!(r.population(), 0);
+        assert!(r.memory_bytes() > 0); // struct overhead remains
+    }
+
+    #[test]
+    fn slots_stay_consistent_under_churn() {
+        let mut r = ReservoirList::new(&config(50));
+        let mut live: Vec<GeoTextObject> = Vec::new();
+        for i in 0..2_000u64 {
+            let o = obj(i, 0.0, 0.0, &[]);
+            r.insert(&o);
+            live.push(o);
+            if live.len() > 300 {
+                let victim = live.remove(0);
+                r.remove(&victim);
+            }
+        }
+        // Every slot entry must point at the object that claims it.
+        for (oid, &slot) in &r.slots {
+            assert_eq!(r.sample[slot].oid, *oid);
+        }
+        assert_eq!(r.slots.len(), r.sample.len());
+    }
+}

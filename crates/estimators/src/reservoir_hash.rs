@@ -1,0 +1,328 @@
+//! Hybrid reservoir sampling hashmap (the paper's `RSH`).
+//!
+//! The same algorithm-R reservoir as [`crate::reservoir::ReservoirList`],
+//! but every sampled object is additionally indexed by the 2D grid cell its
+//! location falls into (Figure 1(b) of the paper). Queries with a spatial
+//! predicate only scan the sample objects in cells the range touches, which
+//! removes the full-sample iteration overhead — the reason RSH gives RSL's
+//! accuracy at lower latency and is LATEST's default estimator.
+
+use crate::traits::{EstimatorConfig, EstimatorKind, SelectivityEstimator};
+use geostream::{GeoTextObject, ObjectId, Point, RcDvq, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Reservoir sample indexed by a 2D grid over the domain.
+pub struct ReservoirHash {
+    capacity: usize,
+    domain: Rect,
+    side: usize,
+    sample: Vec<GeoTextObject>,
+    /// `oid → slot` for O(1) retraction.
+    slots: HashMap<ObjectId, usize>,
+    /// `cell → slots of sampled objects in the cell`.
+    grid: HashMap<u32, Vec<usize>>,
+    seen: u64,
+    population: u64,
+    rng: StdRng,
+}
+
+impl ReservoirHash {
+    /// Builds an empty RSH per `config` (reservoir capacity and grid size
+    /// both scale with the memory budget).
+    pub fn new(config: &EstimatorConfig) -> Self {
+        let capacity = config.scaled_reservoir();
+        ReservoirHash {
+            capacity,
+            domain: config.domain,
+            side: config.scaled_grid_side(),
+            sample: Vec::with_capacity(capacity.min(1 << 20)),
+            slots: HashMap::new(),
+            grid: HashMap::new(),
+            seen: 0,
+            population: 0,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x2525),
+        }
+    }
+
+    /// Current number of sampled objects.
+    pub fn sample_len(&self) -> usize {
+        self.sample.len()
+    }
+
+    fn cell_id(&self, p: &Point) -> u32 {
+        let fx = (p.x - self.domain.min_x) / self.domain.width();
+        let fy = (p.y - self.domain.min_y) / self.domain.height();
+        let cx = ((fx * self.side as f64) as isize).clamp(0, self.side as isize - 1) as u32;
+        let cy = ((fy * self.side as f64) as isize).clamp(0, self.side as isize - 1) as u32;
+        cy * self.side as u32 + cx
+    }
+
+    fn unlink_from_grid(&mut self, slot: usize) {
+        let cell = self.cell_id(&self.sample[slot].loc);
+        if let Some(v) = self.grid.get_mut(&cell) {
+            if let Some(pos) = v.iter().position(|&s| s == slot) {
+                v.swap_remove(pos);
+            }
+            if v.is_empty() {
+                self.grid.remove(&cell);
+            }
+        }
+    }
+
+    fn relink_slot(&mut self, slot: usize) {
+        let cell = self.cell_id(&self.sample[slot].loc);
+        self.grid.entry(cell).or_default().push(slot);
+    }
+
+    fn place(&mut self, obj: GeoTextObject, slot: usize) {
+        if slot < self.sample.len() {
+            self.unlink_from_grid(slot);
+            self.slots.remove(&self.sample[slot].oid);
+            self.sample[slot] = obj;
+        } else {
+            self.sample.push(obj);
+        }
+        self.slots.insert(self.sample[slot].oid, slot);
+        self.relink_slot(slot);
+    }
+
+    /// Cell ids the (clipped) rectangle touches.
+    fn cells_for(&self, r: &Rect) -> Vec<u32> {
+        let Some(clipped) = r.intersection(&self.domain) else {
+            return Vec::new();
+        };
+        let w = self.domain.width() / self.side as f64;
+        let h = self.domain.height() / self.side as f64;
+        let x0 = (((clipped.min_x - self.domain.min_x) / w) as isize)
+            .clamp(0, self.side as isize - 1) as u32;
+        let x1 = (((clipped.max_x - self.domain.min_x) / w) as isize)
+            .clamp(0, self.side as isize - 1) as u32;
+        let y0 = (((clipped.min_y - self.domain.min_y) / h) as isize)
+            .clamp(0, self.side as isize - 1) as u32;
+        let y1 = (((clipped.max_y - self.domain.min_y) / h) as isize)
+            .clamp(0, self.side as isize - 1) as u32;
+        let mut cells = Vec::with_capacity(((x1 - x0 + 1) * (y1 - y0 + 1)) as usize);
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                cells.push(cy * self.side as u32 + cx);
+            }
+        }
+        cells
+    }
+}
+
+impl SelectivityEstimator for ReservoirHash {
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::Rsh
+    }
+
+    fn insert(&mut self, obj: &GeoTextObject) {
+        self.population += 1;
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.place(obj.clone(), self.sample.len());
+        } else {
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.place(obj.clone(), j as usize);
+            }
+        }
+    }
+
+    fn remove(&mut self, obj: &GeoTextObject) {
+        self.population = self.population.saturating_sub(1);
+        if let Some(slot) = self.slots.remove(&obj.oid) {
+            self.unlink_from_grid(slot);
+            let last = self.sample.len() - 1;
+            if slot != last {
+                self.unlink_from_grid(last);
+                self.sample.swap(slot, last);
+                self.sample.pop();
+                self.slots.insert(self.sample[slot].oid, slot);
+                self.relink_slot(slot);
+            } else {
+                self.sample.pop();
+            }
+        }
+    }
+
+    fn estimate(&self, query: &RcDvq) -> f64 {
+        if self.sample.is_empty() {
+            return 0.0;
+        }
+        let matches = match query.range() {
+            Some(r) => {
+                // Grid-assisted scan: only cells the range touches.
+                self.cells_for(r)
+                    .iter()
+                    .filter_map(|c| self.grid.get(c))
+                    .flatten()
+                    .filter(|&&slot| query.matches(&self.sample[slot]))
+                    .count()
+            }
+            // Pure keyword query: no spatial pruning possible.
+            None => self.sample.iter().filter(|o| query.matches(o)).count(),
+        };
+        matches as f64 / self.sample.len() as f64 * self.population as f64
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.sample
+            .iter()
+            .map(GeoTextObject::approx_bytes)
+            .sum::<usize>()
+            + self.slots.len()
+                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
+            + self
+                .grid
+                .values()
+                .map(|v| v.len() * std::mem::size_of::<usize>() + std::mem::size_of::<u32>())
+                .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+
+    fn clear(&mut self) {
+        self.sample.clear();
+        self.slots.clear();
+        self.grid.clear();
+        self.seen = 0;
+        self.population = 0;
+    }
+
+    fn population(&self) -> u64 {
+        self.population
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{KeywordId, Timestamp};
+
+    fn config(cap: usize) -> EstimatorConfig {
+        EstimatorConfig {
+            reservoir_capacity: cap,
+            domain: Rect::new(0.0, 0.0, 64.0, 64.0),
+            ..EstimatorConfig::default()
+        }
+    }
+
+    fn obj(id: u64, x: f64, y: f64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(id),
+            Point::new(x, y),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp::ZERO,
+        )
+    }
+
+    #[test]
+    fn exact_when_sample_holds_everything() {
+        let mut r = ReservoirHash::new(&config(1_000));
+        for i in 0..100 {
+            let x = if i < 40 { 1.0 } else { 50.0 };
+            r.insert(&obj(i, x, 1.0, &[i as u32 % 4]));
+        }
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 10.0, 10.0));
+        assert!((r.estimate(&q) - 40.0).abs() < 1e-9);
+        let qk = RcDvq::keyword(vec![KeywordId(1)]);
+        assert!((r.estimate(&qk) - 25.0).abs() < 1e-9);
+        let qh = RcDvq::hybrid(Rect::new(40.0, 0.0, 60.0, 10.0), vec![KeywordId(2)]);
+        assert!((r.estimate(&qh) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_scan_agrees_with_full_scan() {
+        let mut r = ReservoirHash::new(&config(5_000));
+        let mut seed = 9u64;
+        for i in 0..3_000 {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let x = (seed >> 11) as f64 / (1u64 << 53) as f64 * 64.0;
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let y = (seed >> 11) as f64 / (1u64 << 53) as f64 * 64.0;
+            r.insert(&obj(i, x, y, &[(i % 7) as u32]));
+        }
+        for rect in [
+            Rect::new(0.0, 0.0, 64.0, 64.0),
+            Rect::new(10.3, 20.7, 35.2, 33.3),
+            Rect::new(0.0, 0.0, 0.5, 0.5),
+        ] {
+            let q = RcDvq::hybrid(rect, vec![KeywordId(3)]);
+            let grid_est = r.estimate(&q);
+            let full = r.sample.iter().filter(|o| q.matches(o)).count() as f64
+                / r.sample.len() as f64
+                * r.population() as f64;
+            assert!(
+                (grid_est - full).abs() < 1e-9,
+                "grid scan diverged: {grid_est} vs {full} for {rect:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_keeps_grid_consistent() {
+        let mut r = ReservoirHash::new(&config(64));
+        let mut live: Vec<GeoTextObject> = Vec::new();
+        let mut seed = 77u64;
+        for i in 0..3_000u64 {
+            seed = seed.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(3);
+            let x = (seed >> 11) as f64 / (1u64 << 53) as f64 * 64.0;
+            let o = obj(i, x, x / 2.0, &[]);
+            r.insert(&o);
+            live.push(o);
+            if live.len() > 200 {
+                let victim = live.remove(0);
+                r.remove(&victim);
+            }
+        }
+        // Invariants: every slot map entry points at its object, and grid
+        // entries cover exactly the sample.
+        for (oid, &slot) in &r.slots {
+            assert_eq!(r.sample[slot].oid, *oid);
+        }
+        let grid_slots: usize = r.grid.values().map(Vec::len).sum();
+        assert_eq!(grid_slots, r.sample.len());
+        for (cell, slots) in &r.grid {
+            for &s in slots {
+                assert_eq!(r.cell_id(&r.sample[s].loc), *cell, "slot in wrong cell");
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_scales_to_population() {
+        let mut r = ReservoirHash::new(&config(200));
+        for i in 0..20_000 {
+            let x = if i % 4 == 0 { 1.0 } else { 50.0 };
+            r.insert(&obj(i, x, 1.0, &[]));
+        }
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let est = r.estimate(&q);
+        assert!(
+            (est - 5_000.0).abs() < 2_000.0,
+            "estimate too far from truth: {est}"
+        );
+    }
+
+    #[test]
+    fn out_of_domain_query_is_zero() {
+        let mut r = ReservoirHash::new(&config(10));
+        r.insert(&obj(1, 5.0, 5.0, &[]));
+        let q = RcDvq::spatial(Rect::new(100.0, 100.0, 110.0, 110.0));
+        assert_eq!(r.estimate(&q), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = ReservoirHash::new(&config(10));
+        for i in 0..50 {
+            r.insert(&obj(i, 5.0, 5.0, &[]));
+        }
+        r.clear();
+        assert_eq!(r.sample_len(), 0);
+        assert_eq!(r.population(), 0);
+        assert!(r.grid.is_empty());
+    }
+}

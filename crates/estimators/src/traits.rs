@@ -1,0 +1,232 @@
+//! The estimator abstraction LATEST builds on.
+
+use geostream::{GeoTextObject, RcDvq, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Identity of an estimator implementation. This is the *class label* of
+/// LATEST's Hoeffding tree: the learning model's job is to predict the best
+/// `EstimatorKind` for the current workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// 2D equi-width histogram (the paper's `H4096`).
+    H4096,
+    /// Reservoir sampling list.
+    Rsl,
+    /// Reservoir sampling hashmap (reservoir indexed by a grid).
+    Rsh,
+    /// Augmented adaptive space-partition tree.
+    Aasp,
+    /// Workload-driven feed-forward neural network.
+    Ffn,
+    /// Data-driven sum-product network.
+    Spn,
+}
+
+impl EstimatorKind {
+    /// All kinds, in stable label order (index = Hoeffding class id).
+    pub const ALL: [EstimatorKind; 6] = [
+        EstimatorKind::H4096,
+        EstimatorKind::Rsl,
+        EstimatorKind::Rsh,
+        EstimatorKind::Aasp,
+        EstimatorKind::Ffn,
+        EstimatorKind::Spn,
+    ];
+
+    /// Stable dense index (also the ML class label).
+    pub fn index(self) -> u32 {
+        match self {
+            EstimatorKind::H4096 => 0,
+            EstimatorKind::Rsl => 1,
+            EstimatorKind::Rsh => 2,
+            EstimatorKind::Aasp => 3,
+            EstimatorKind::Ffn => 4,
+            EstimatorKind::Spn => 5,
+        }
+    }
+
+    /// Inverse of [`EstimatorKind::index`].
+    pub fn from_index(i: u32) -> Option<EstimatorKind> {
+        Self::ALL.get(i as usize).copied()
+    }
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorKind::H4096 => "H4096",
+            EstimatorKind::Rsl => "RSL",
+            EstimatorKind::Rsh => "RSH",
+            EstimatorKind::Aasp => "AASP",
+            EstimatorKind::Ffn => "FFN",
+            EstimatorKind::Spn => "SPN",
+        }
+    }
+}
+
+impl std::fmt::Display for EstimatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Sizing and domain parameters shared by all estimators.
+///
+/// `memory_budget` scales every structure the way the paper's §VI-F sweep
+/// does: `1.0` reproduces the §VI-A defaults scaled to laptop size
+/// (reservoirs of `100K` objects, 4096 grid cells), `2.0` doubles them, and
+/// so on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// The spatial domain of the stream.
+    pub domain: Rect,
+    /// Relative memory budget multiplier (1.0 = defaults).
+    pub memory_budget: f64,
+    /// Base reservoir capacity before the budget multiplier.
+    pub reservoir_capacity: usize,
+    /// Base number of histogram grid cells (must be a perfect square for
+    /// the equi-width grid) before the budget multiplier.
+    pub grid_cells: usize,
+    /// AASP split threshold: a leaf splits when its share of the window
+    /// population exceeds `split_value × (capacity heuristic)`; the paper
+    /// uses 0.5.
+    pub aasp_split_value: f64,
+    /// FFN training budget: feedback records consumed before the network
+    /// freezes (the paper's FFN is batch-trained and cannot keep adapting;
+    /// see `estimators::ffn`).
+    pub ffn_train_budget: u64,
+    /// RNG seed for the randomized structures (reservoirs, FFN init, SPN).
+    pub seed: u64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            domain: Rect::WORLD,
+            memory_budget: 1.0,
+            reservoir_capacity: 100_000,
+            grid_cells: 4_096,
+            aasp_split_value: 0.5,
+            ffn_train_budget: 1_500,
+            seed: 0x001a_7e57,
+        }
+    }
+}
+
+impl EstimatorConfig {
+    /// Effective reservoir capacity after the budget multiplier.
+    pub fn scaled_reservoir(&self) -> usize {
+        ((self.reservoir_capacity as f64 * self.memory_budget) as usize).max(16)
+    }
+
+    /// Effective grid side length (cells per axis) after the budget
+    /// multiplier, keeping the cell count a perfect square.
+    pub fn scaled_grid_side(&self) -> usize {
+        let cells = (self.grid_cells as f64 * self.memory_budget).max(4.0);
+        (cells.sqrt().round() as usize).max(2)
+    }
+}
+
+/// A streaming selectivity estimator for RC-DVQ queries.
+///
+/// Estimators are kept consistent with the sliding window by the driver:
+/// every arriving object is [`insert`]ed and every expired object is
+/// [`remove`]d. Workload-driven estimators additionally receive
+/// [`observe_query`] feedback (query + actual selectivity from the system
+/// logs) — data-structure estimators ignore it.
+///
+/// [`insert`]: SelectivityEstimator::insert
+/// [`remove`]: SelectivityEstimator::remove
+/// [`observe_query`]: SelectivityEstimator::observe_query
+pub trait SelectivityEstimator: Send {
+    /// Which estimator this is.
+    fn kind(&self) -> EstimatorKind;
+
+    /// Ingests an arriving window object.
+    fn insert(&mut self, obj: &GeoTextObject);
+
+    /// Retracts an object evicted from the window.
+    fn remove(&mut self, obj: &GeoTextObject);
+
+    /// Estimates the RC-DVQ selectivity (number of matching window
+    /// objects). Never negative; may exceed the window size for rough
+    /// estimators.
+    fn estimate(&self, query: &RcDvq) -> f64;
+
+    /// Feedback after the query executed on actual data: the true
+    /// selectivity from the system logs. Default: ignored.
+    fn observe_query(&mut self, _query: &RcDvq, _actual: u64) {}
+
+    /// Approximate heap footprint in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Drops all state (used when an estimator is wiped after the
+    /// pre-training phase, §V-C).
+    fn clear(&mut self);
+
+    /// Number of window objects currently represented (the population the
+    /// estimator scales to).
+    fn population(&self) -> u64;
+}
+
+/// Convenience alias for a boxed estimator.
+pub type BoxedEstimator = Box<dyn SelectivityEstimator>;
+
+/// Builds a fresh (empty) estimator of `kind` under `config`. This is the
+/// factory the estimator adaptor uses when it starts pre-filling a
+/// recommended replacement (§V-D).
+pub fn build_estimator(kind: EstimatorKind, config: &EstimatorConfig) -> BoxedEstimator {
+    match kind {
+        EstimatorKind::H4096 => Box::new(crate::histogram2d::Histogram2D::new(config)),
+        EstimatorKind::Rsl => Box::new(crate::reservoir::ReservoirList::new(config)),
+        EstimatorKind::Rsh => Box::new(crate::reservoir_hash::ReservoirHash::new(config)),
+        EstimatorKind::Aasp => Box::new(crate::aasp::AaspTree::new(config)),
+        EstimatorKind::Ffn => Box::new(crate::ffn::FfnEstimator::new(config)),
+        EstimatorKind::Spn => Box::new(crate::spn::SpnEstimator::new(config)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_round_trip() {
+        for kind in EstimatorKind::ALL {
+            assert_eq!(EstimatorKind::from_index(kind.index()), Some(kind));
+        }
+        assert_eq!(EstimatorKind::from_index(6), None);
+    }
+
+    #[test]
+    fn kind_names_match_paper() {
+        let names: Vec<&str> = EstimatorKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["H4096", "RSL", "RSH", "AASP", "FFN", "SPN"]);
+        assert_eq!(format!("{}", EstimatorKind::Rsh), "RSH");
+    }
+
+    #[test]
+    fn config_scaling() {
+        let mut c = EstimatorConfig::default();
+        assert_eq!(c.scaled_grid_side(), 64); // 4096 cells
+        assert_eq!(c.scaled_reservoir(), 100_000);
+        c.memory_budget = 4.0;
+        assert_eq!(c.scaled_grid_side(), 128);
+        assert_eq!(c.scaled_reservoir(), 400_000);
+        c.memory_budget = 1e-9;
+        assert!(c.scaled_reservoir() >= 16);
+        assert!(c.scaled_grid_side() >= 2);
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let config = EstimatorConfig {
+            reservoir_capacity: 100,
+            ..EstimatorConfig::default()
+        };
+        for kind in EstimatorKind::ALL {
+            let e = build_estimator(kind, &config);
+            assert_eq!(e.kind(), kind);
+            assert_eq!(e.population(), 0);
+        }
+    }
+}

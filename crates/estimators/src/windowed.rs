@@ -1,0 +1,255 @@
+//! Time-biased windowed sampler — the "windowed lists … changes to
+//! replacement policies" variation of the sampling family (§IV).
+//!
+//! Where algorithm R keeps a *uniform* sample of the window, this sampler
+//! biases retention toward recency: each arriving object receives a
+//! priority `u^(1/w)` with `u ~ U(0,1)` and weight `w` growing
+//! exponentially in arrival order (the classic A-ES / Efraimidis–Spirakis
+//! weighted reservoir), so newer objects win slots more often. The window
+//! population estimate still comes from exact insert/remove accounting,
+//! but the matching fraction is measured on a recency-tilted sample —
+//! useful when the workload cares more about the most recent sub-window
+//! than the whole `S_T`.
+//!
+//! Ships as a library extension (the paper's pool is pluggable, §IV); the
+//! pool itself keeps the six canonical estimators.
+
+use crate::traits::{EstimatorConfig, EstimatorKind, SelectivityEstimator};
+use geostream::{GeoTextObject, ObjectId, RcDvq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Recency half-life, measured in arrivals: an object this many arrivals
+/// old is half as likely to be retained as a fresh one.
+const HALF_LIFE_ARRIVALS: f64 = 20_000.0;
+
+/// An exponentially recency-biased reservoir sampler.
+pub struct WindowedSampler {
+    capacity: usize,
+    /// `(priority key, object)` — a soft heap would do; at estimator-scale
+    /// capacities a linear min search on replacement is cheap and simple.
+    sample: Vec<(f64, GeoTextObject)>,
+    slots: HashMap<ObjectId, usize>,
+    arrivals: u64,
+    population: u64,
+    rng: StdRng,
+}
+
+impl WindowedSampler {
+    /// Builds an empty sampler per `config` (capacity scales with the
+    /// memory budget).
+    pub fn new(config: &EstimatorConfig) -> Self {
+        let capacity = config.scaled_reservoir();
+        WindowedSampler {
+            capacity,
+            sample: Vec::with_capacity(capacity.min(1 << 20)),
+            slots: HashMap::new(),
+            arrivals: 0,
+            population: 0,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x71de),
+        }
+    }
+
+    /// Current number of sampled objects.
+    pub fn sample_len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Priority key for the `i`-th arrival: `u^(1/w)` with
+    /// `w = 2^(i / half_life)`. Larger keys win. Computed in log space to
+    /// dodge overflow: `key = ln(u) / w` (negative; closer to 0 wins), so
+    /// we store `ln(u) / w` and keep the *largest*.
+    fn key(&mut self) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let w = (self.arrivals as f64 / HALF_LIFE_ARRIVALS * std::f64::consts::LN_2).exp();
+        u.ln() / w
+    }
+
+    fn fix_slot(&mut self, slot: usize) {
+        if slot < self.sample.len() {
+            let oid = self.sample[slot].1.oid;
+            self.slots.insert(oid, slot);
+        }
+    }
+}
+
+impl SelectivityEstimator for WindowedSampler {
+    // Reported under the RSL family: it is a sampling-list variant, and
+    // the canonical pool never constructs this type.
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::Rsl
+    }
+
+    fn insert(&mut self, obj: &GeoTextObject) {
+        self.population += 1;
+        self.arrivals += 1;
+        let key = self.key();
+        if self.sample.len() < self.capacity {
+            self.slots.insert(obj.oid, self.sample.len());
+            self.sample.push((key, obj.clone()));
+            return;
+        }
+        // Replace the minimum-key entry if ours beats it.
+        let (min_slot, &(min_key, _)) = self
+            .sample
+            .iter()
+            .enumerate()
+            .min_by(|(_, (a, _)), (_, (b, _))| a.partial_cmp(b).expect("finite keys"))
+            .expect("sample non-empty at capacity");
+        if key > min_key {
+            self.slots.remove(&self.sample[min_slot].1.oid);
+            self.slots.insert(obj.oid, min_slot);
+            self.sample[min_slot] = (key, obj.clone());
+        }
+    }
+
+    fn remove(&mut self, obj: &GeoTextObject) {
+        self.population = self.population.saturating_sub(1);
+        if let Some(slot) = self.slots.remove(&obj.oid) {
+            let last = self.sample.len() - 1;
+            self.sample.swap(slot, last);
+            self.sample.pop();
+            self.fix_slot(slot);
+        }
+    }
+
+    fn estimate(&self, query: &RcDvq) -> f64 {
+        if self.sample.is_empty() {
+            return 0.0;
+        }
+        let matches = self
+            .sample
+            .iter()
+            .filter(|(_, o)| query.matches(o))
+            .count();
+        matches as f64 / self.sample.len() as f64 * self.population as f64
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.sample
+            .iter()
+            .map(|(_, o)| o.approx_bytes() + std::mem::size_of::<f64>())
+            .sum::<usize>()
+            + self.slots.len()
+                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
+            + std::mem::size_of::<Self>()
+    }
+
+    fn clear(&mut self) {
+        self.sample.clear();
+        self.slots.clear();
+        self.arrivals = 0;
+        self.population = 0;
+    }
+
+    fn population(&self) -> u64 {
+        self.population
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{KeywordId, Point, Rect, Timestamp};
+
+    fn config(cap: usize) -> EstimatorConfig {
+        EstimatorConfig {
+            domain: Rect::new(0.0, 0.0, 100.0, 100.0),
+            reservoir_capacity: cap,
+            ..EstimatorConfig::default()
+        }
+    }
+
+    fn obj(id: u64, x: f64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(id),
+            Point::new(x, 1.0),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp(id),
+        )
+    }
+
+    #[test]
+    fn exhaustive_sample_is_exact() {
+        let mut w = WindowedSampler::new(&config(1_000));
+        for i in 0..200 {
+            let x = if i < 80 { 10.0 } else { 60.0 };
+            w.insert(&obj(i, x, &[i as u32 % 4]));
+        }
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 30.0, 30.0));
+        assert!((w.estimate(&q) - 80.0).abs() < 1e-9);
+        let qk = RcDvq::keyword(vec![KeywordId(1)]);
+        assert!((w.estimate(&qk) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut w = WindowedSampler::new(&config(64));
+        for i in 0..5_000 {
+            w.insert(&obj(i, 1.0, &[]));
+        }
+        assert_eq!(w.sample_len(), 64);
+        assert_eq!(w.population(), 5_000);
+    }
+
+    #[test]
+    fn sample_is_recency_biased() {
+        // Stream far beyond capacity: the retained ids should skew to the
+        // high (recent) end much harder than a uniform sample would.
+        let mut w = WindowedSampler::new(&config(200));
+        let n = 100_000u64;
+        for i in 0..n {
+            w.insert(&obj(i, 1.0, &[]));
+        }
+        let mean_id: f64 =
+            w.sample.iter().map(|(_, o)| o.oid.0 as f64).sum::<f64>() / w.sample_len() as f64;
+        // Uniform sampling would center at 50k; recency bias pushes it
+        // well past.
+        assert!(
+            mean_id > 65_000.0,
+            "sample not recency biased: mean id {mean_id}"
+        );
+    }
+
+    #[test]
+    fn estimates_track_recent_distribution_shift() {
+        // First 50k objects at x=10, next 50k at x=60: a recency-biased
+        // sampler over-represents the new regime relative to uniform.
+        let mut w = WindowedSampler::new(&config(400));
+        let n = 100_000u64;
+        for i in 0..n {
+            let x = if i < n / 2 { 10.0 } else { 60.0 };
+            w.insert(&obj(i, x, &[]));
+        }
+        let recent = RcDvq::spatial(Rect::new(50.0, 0.0, 70.0, 10.0));
+        let est = w.estimate(&recent);
+        // True count is 50k; the biased sampler should estimate above it.
+        assert!(
+            est > 55_000.0,
+            "recency tilt missing: estimated {est} of 50000 actual"
+        );
+    }
+
+    #[test]
+    fn removal_and_clear() {
+        let mut w = WindowedSampler::new(&config(100));
+        let objects: Vec<_> = (0..50).map(|i| obj(i, 1.0, &[])).collect();
+        for o in &objects {
+            w.insert(o);
+        }
+        for o in objects.iter().take(20) {
+            w.remove(o);
+        }
+        assert_eq!(w.population(), 30);
+        assert_eq!(w.sample_len(), 30);
+        // Slot map stays exact under swap-removes.
+        for (oid, &slot) in &w.slots {
+            assert_eq!(w.sample[slot].1.oid, *oid);
+        }
+        w.clear();
+        assert_eq!(w.population(), 0);
+        assert_eq!(w.sample_len(), 0);
+        assert_eq!(w.estimate(&RcDvq::spatial(Rect::new(0.0, 0.0, 9.0, 9.0))), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Estimator-specific property tests: structural invariants that must hold
+//! for arbitrary object sets and queries.
+
+use estimators::aasp::AaspTree;
+use estimators::histogram2d::Histogram2D;
+use estimators::kmv::KmvSynopsis;
+use estimators::nn::Mlp;
+use estimators::reservoir::ReservoirList;
+use estimators::reservoir_hash::ReservoirHash;
+use estimators::{EstimatorConfig, SelectivityEstimator};
+use geostream::{GeoTextObject, KeywordId, ObjectId, Point, RcDvq, Rect, Timestamp};
+use proptest::prelude::*;
+
+const DOMAIN: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 64.0,
+    max_y: 64.0,
+};
+
+fn config() -> EstimatorConfig {
+    EstimatorConfig {
+        domain: DOMAIN,
+        reservoir_capacity: 512,
+        ..EstimatorConfig::default()
+    }
+}
+
+fn arb_objects(max: usize) -> impl Strategy<Value = Vec<GeoTextObject>> {
+    proptest::collection::vec(
+        (0.0..64.0f64, 0.0..64.0f64, proptest::collection::vec(0u32..40, 0..3)),
+        1..max,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, kws))| {
+                GeoTextObject::new(
+                    ObjectId(i as u64),
+                    Point::new(x, y),
+                    kws.into_iter().map(KeywordId).collect(),
+                    Timestamp(i as u64),
+                )
+            })
+            .collect()
+    })
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..56.0f64, 0.0..56.0f64, 1.0..30.0f64, 1.0..30.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, (x + w).min(64.0), (y + h).min(64.0)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn histogram_total_mass_is_population(objects in arb_objects(200)) {
+        let mut h = Histogram2D::new(&config());
+        for o in &objects {
+            h.insert(o);
+        }
+        let whole = RcDvq::spatial(DOMAIN);
+        prop_assert!((h.estimate(&whole) - objects.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_is_monotone_in_range(objects in arb_objects(200), r in arb_rect()) {
+        // A larger rectangle can never estimate fewer points.
+        let mut h = Histogram2D::new(&config());
+        for o in &objects {
+            h.insert(o);
+        }
+        let grown = Rect::new(
+            (r.min_x - 5.0).max(DOMAIN.min_x),
+            (r.min_y - 5.0).max(DOMAIN.min_y),
+            (r.max_x + 5.0).min(DOMAIN.max_x),
+            (r.max_y + 5.0).min(DOMAIN.max_y),
+        );
+        let small = h.estimate(&RcDvq::spatial(r));
+        let big = h.estimate(&RcDvq::spatial(grown));
+        prop_assert!(big >= small - 1e-9, "shrunk: {} -> {}", small, big);
+    }
+
+    #[test]
+    fn histogram_partition_is_additive(objects in arb_objects(200), split in 1.0..63.0f64) {
+        // Splitting the domain into left/right halves must conserve mass.
+        let mut h = Histogram2D::new(&config());
+        for o in &objects {
+            h.insert(o);
+        }
+        let left = h.estimate(&RcDvq::spatial(Rect::new(0.0, 0.0, split, 64.0)));
+        let right = h.estimate(&RcDvq::spatial(Rect::new(split, 0.0, 64.0, 64.0)));
+        prop_assert!(
+            (left + right - objects.len() as f64).abs() < 1e-6,
+            "mass not conserved: {} + {} != {}",
+            left, right, objects.len()
+        );
+    }
+
+    #[test]
+    fn reservoir_never_exceeds_capacity(objects in arb_objects(900)) {
+        let mut r = ReservoirList::new(&EstimatorConfig {
+            reservoir_capacity: 64,
+            ..config()
+        });
+        for o in &objects {
+            r.insert(o);
+        }
+        prop_assert!(r.sample_len() <= 64);
+        prop_assert_eq!(r.population(), objects.len() as u64);
+    }
+
+    #[test]
+    fn rsh_and_rsl_agree_when_exhaustive(objects in arb_objects(150), r in arb_rect()) {
+        // Same capacity, both exhaustive ⇒ identical estimates.
+        let big = EstimatorConfig {
+            reservoir_capacity: 4_096,
+            ..config()
+        };
+        let mut rsl = ReservoirList::new(&big);
+        let mut rsh = ReservoirHash::new(&big);
+        for o in &objects {
+            rsl.insert(o);
+            rsh.insert(o);
+        }
+        for q in [
+            RcDvq::spatial(r),
+            RcDvq::keyword(vec![KeywordId(7)]),
+            RcDvq::hybrid(r, vec![KeywordId(7)]),
+        ] {
+            prop_assert!((rsl.estimate(&q) - rsh.estimate(&q)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn aasp_spatial_mass_is_conserved(objects in arb_objects(300)) {
+        let mut a = AaspTree::new(&config());
+        for o in &objects {
+            a.insert(o);
+        }
+        let whole = a.estimate(&RcDvq::spatial(DOMAIN));
+        prop_assert!(
+            (whole - objects.len() as f64).abs() < 1e-6,
+            "AASP mass drifted: {} vs {}",
+            whole, objects.len()
+        );
+    }
+
+    #[test]
+    fn aasp_keyword_estimates_bounded_by_population(
+        objects in arb_objects(300),
+        kws in proptest::collection::vec(0u32..40, 1..4)
+    ) {
+        let mut a = AaspTree::new(&config());
+        for o in &objects {
+            a.insert(o);
+        }
+        let q = RcDvq::keyword(kws.into_iter().map(KeywordId).collect());
+        let e = a.estimate(&q);
+        prop_assert!(e >= -1e-9 && e <= objects.len() as f64 + 1e-6);
+    }
+
+    #[test]
+    fn kmv_estimate_is_monotone_nondecreasing(ids in proptest::collection::vec(0u32..10_000, 1..500)) {
+        let mut s = KmvSynopsis::new(32);
+        let mut last = 0.0f64;
+        for (i, id) in ids.iter().enumerate() {
+            s.insert(KeywordId(*id));
+            if i % 50 == 0 {
+                let est = s.estimate_distinct();
+                // Estimates can wobble once the synopsis saturates, but
+                // while exact (below k) they never decrease.
+                if s.len() < 32 {
+                    prop_assert!(est >= last - 1e-9);
+                    last = est;
+                }
+            }
+        }
+        prop_assert!(s.estimate_distinct() >= 1.0);
+    }
+
+    #[test]
+    fn mlp_forward_is_deterministic_and_finite(
+        inputs in proptest::collection::vec(-1.0..1.0f64, 4),
+        seed in 0u64..1_000
+    ) {
+        let mlp = Mlp::new(&[4, 8, 2], 0.3, 0.2, seed);
+        let a = mlp.infer(&inputs);
+        let b = mlp.infer(&inputs);
+        prop_assert_eq!(a.clone(), b);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+        prop_assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn mlp_training_keeps_weights_finite(
+        samples in proptest::collection::vec((-1.0..1.0f64, -1.0..1.0f64, 0.0..1.0f64), 1..100)
+    ) {
+        let mut mlp = Mlp::new(&[2, 6, 1], 0.3, 0.2, 9);
+        for (a, b, t) in &samples {
+            let loss = mlp.train(&[*a, *b], &[*t]);
+            prop_assert!(loss.is_finite() && loss >= 0.0);
+        }
+        let out = mlp.infer(&[0.0, 0.0]);
+        prop_assert!(out[0].is_finite());
+    }
+}

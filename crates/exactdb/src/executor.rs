@@ -1,0 +1,259 @@
+//! The exact executor — LATEST's "system logs" source and Table I's
+//! full-index comparison point.
+
+use crate::grid::GridIndex;
+use crate::inverted::InvertedIndex;
+use crate::quad::QuadtreeIndex;
+use crate::rtree::RTreeIndex;
+use geostream::{GeoTextObject, QueryType, RcDvq, Rect};
+
+/// Which spatial backend the executor runs on (the two index families
+/// compared in Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpatialIndexKind {
+    Grid,
+    Quadtree,
+    RTree,
+}
+
+impl SpatialIndexKind {
+    /// Display name used in Table I output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpatialIndexKind::Grid => "Grid",
+            SpatialIndexKind::Quadtree => "QuadTree",
+            SpatialIndexKind::RTree => "RTree",
+        }
+    }
+}
+
+enum Backend {
+    Grid(GridIndex),
+    Quad(QuadtreeIndex),
+    RTree(RTreeIndex),
+}
+
+/// Exact RC-DVQ execution over the live window.
+///
+/// Maintains one spatial index (grid or quadtree) plus an inverted keyword
+/// index, and routes each query to the best access path:
+///
+/// * pure spatial → spatial index;
+/// * pure keyword → inverted index;
+/// * hybrid → inverted index when the keyword predicate is available
+///   (posting lists are usually the sharper filter), spatial otherwise.
+pub struct ExactExecutor {
+    backend: Backend,
+    inverted: InvertedIndex,
+    len: usize,
+}
+
+/// Grid cells per axis for the grid backend (matches the estimator-side
+/// default of a 64×64 grid).
+const GRID_SIDE: usize = 64;
+/// Quadtree leaf bucket capacity.
+const QUAD_BUCKET: usize = 64;
+/// Quadtree depth cap.
+const QUAD_DEPTH: u16 = 14;
+
+impl ExactExecutor {
+    /// Builds an empty executor over `domain` with the chosen backend.
+    pub fn new(domain: Rect, kind: SpatialIndexKind) -> Self {
+        let backend = match kind {
+            SpatialIndexKind::Grid => Backend::Grid(GridIndex::new(domain, GRID_SIDE)),
+            SpatialIndexKind::Quadtree => {
+                Backend::Quad(QuadtreeIndex::new(domain, QUAD_BUCKET, QUAD_DEPTH))
+            }
+            SpatialIndexKind::RTree => Backend::RTree(RTreeIndex::new()),
+        };
+        ExactExecutor {
+            backend,
+            inverted: InvertedIndex::new(),
+            len: 0,
+        }
+    }
+
+    /// The backend in use.
+    pub fn kind(&self) -> SpatialIndexKind {
+        match self.backend {
+            Backend::Grid(_) => SpatialIndexKind::Grid,
+            Backend::Quad(_) => SpatialIndexKind::Quadtree,
+            Backend::RTree(_) => SpatialIndexKind::RTree,
+        }
+    }
+
+    /// Number of indexed window objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the executor holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Indexes an arriving window object.
+    pub fn insert(&mut self, obj: &GeoTextObject) {
+        match &mut self.backend {
+            Backend::Grid(g) => g.insert(obj),
+            Backend::Quad(q) => q.insert(obj),
+            Backend::RTree(r) => r.insert(obj),
+        }
+        self.inverted.insert(obj);
+        self.len += 1;
+    }
+
+    /// Drops an evicted window object.
+    pub fn remove(&mut self, obj: &GeoTextObject) {
+        let removed = match &mut self.backend {
+            Backend::Grid(g) => g.remove(obj.oid),
+            Backend::Quad(q) => q.remove(obj.oid, &obj.loc),
+            Backend::RTree(r) => r.remove(obj.oid),
+        };
+        self.inverted.remove(obj.oid);
+        if removed {
+            self.len -= 1;
+        }
+    }
+
+    /// Executes `query` exactly, returning the true selectivity — the
+    /// number the paper reads out of the system logs.
+    pub fn execute(&self, query: &RcDvq) -> u64 {
+        match query.query_type() {
+            QueryType::Spatial => match &self.backend {
+                Backend::Grid(g) => g.count(query),
+                Backend::Quad(q) => q.count(query),
+                Backend::RTree(r) => r.count(query),
+            },
+            QueryType::Keyword | QueryType::Hybrid => self.inverted.count(query),
+        }
+    }
+
+    /// Executes strictly through the spatial backend (even for hybrid
+    /// queries) — used by the Table I harness to price the spatial index's
+    /// own access path.
+    pub fn execute_spatial_path(&self, query: &RcDvq) -> u64 {
+        match &self.backend {
+            Backend::Grid(g) => g.count(query),
+            Backend::Quad(q) => q.count(query),
+            Backend::RTree(r) => r.count(query),
+        }
+    }
+
+    /// Clears all indexes.
+    pub fn clear(&mut self) {
+        match &mut self.backend {
+            Backend::Grid(g) => g.clear(),
+            Backend::Quad(q) => q.clear(),
+            Backend::RTree(r) => r.clear(),
+        }
+        self.inverted.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{KeywordId, ObjectId, Point, Timestamp};
+
+    const DOMAIN: Rect = Rect {
+        min_x: 0.0,
+        min_y: 0.0,
+        max_x: 100.0,
+        max_y: 100.0,
+    };
+
+    fn obj(id: u64, x: f64, y: f64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(id),
+            Point::new(x, y),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp::ZERO,
+        )
+    }
+
+    fn populate(e: &mut ExactExecutor) {
+        for i in 0..200u64 {
+            let x = (i % 100) as f64;
+            let kws = [(i % 10) as u32];
+            e.insert(&obj(i, x, x / 2.0, &kws));
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_all_query_types() {
+        let mut grid = ExactExecutor::new(DOMAIN, SpatialIndexKind::Grid);
+        let mut quad = ExactExecutor::new(DOMAIN, SpatialIndexKind::Quadtree);
+        let mut rtree = ExactExecutor::new(DOMAIN, SpatialIndexKind::RTree);
+        populate(&mut grid);
+        populate(&mut quad);
+        populate(&mut rtree);
+        let queries = [
+            RcDvq::spatial(Rect::new(10.0, 0.0, 42.0, 30.0)),
+            RcDvq::keyword(vec![KeywordId(3), KeywordId(7)]),
+            RcDvq::hybrid(Rect::new(0.0, 0.0, 50.0, 50.0), vec![KeywordId(1)]),
+        ];
+        for q in &queries {
+            assert_eq!(grid.execute(q), quad.execute(q), "backends disagree on {q:?}");
+            assert_eq!(grid.execute(q), rtree.execute(q), "rtree disagrees on {q:?}");
+        }
+        assert_eq!(grid.kind(), SpatialIndexKind::Grid);
+        assert_eq!(quad.kind(), SpatialIndexKind::Quadtree);
+        assert_eq!(rtree.kind(), SpatialIndexKind::RTree);
+    }
+
+    #[test]
+    fn executor_matches_brute_force() {
+        let mut e = ExactExecutor::new(DOMAIN, SpatialIndexKind::Grid);
+        let mut all = Vec::new();
+        let mut s = 17u64;
+        for i in 0..500u64 {
+            s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let x = (s >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+            s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let y = (s >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+            let o = obj(i, x, y, &[(i % 23) as u32, (i % 7) as u32]);
+            e.insert(&o);
+            all.push(o);
+        }
+        let queries = [
+            RcDvq::spatial(Rect::new(20.0, 20.0, 70.0, 55.0)),
+            RcDvq::keyword(vec![KeywordId(5)]),
+            RcDvq::hybrid(Rect::new(0.0, 0.0, 60.0, 60.0), vec![KeywordId(2), KeywordId(11)]),
+        ];
+        for q in &queries {
+            let brute = all.iter().filter(|o| q.matches(o)).count() as u64;
+            assert_eq!(e.execute(q), brute, "mismatch on {q:?}");
+            // The pure spatial path must agree too (slower, same answer).
+            assert_eq!(e.execute_spatial_path(q), brute);
+        }
+    }
+
+    #[test]
+    fn window_eviction_keeps_exactness() {
+        let mut e = ExactExecutor::new(DOMAIN, SpatialIndexKind::Quadtree);
+        let objects: Vec<_> = (0..100).map(|i| obj(i, 50.0, 50.0, &[1])).collect();
+        for o in &objects {
+            e.insert(o);
+        }
+        for o in objects.iter().take(60) {
+            e.remove(o);
+        }
+        assert_eq!(e.len(), 40);
+        assert_eq!(e.execute(&RcDvq::keyword(vec![KeywordId(1)])), 40);
+        assert_eq!(
+            e.execute(&RcDvq::spatial(Rect::new(0.0, 0.0, 100.0, 100.0))),
+            40
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut e = ExactExecutor::new(DOMAIN, SpatialIndexKind::Grid);
+        populate(&mut e);
+        e.clear();
+        assert!(e.is_empty());
+        assert_eq!(e.execute(&RcDvq::keyword(vec![KeywordId(1)])), 0);
+    }
+}

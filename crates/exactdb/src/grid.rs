@@ -1,0 +1,246 @@
+//! Full grid index: a regular spatial grid whose cells hold the actual
+//! window objects.
+
+use geostream::{GeoTextObject, ObjectId, Point, RcDvq, Rect};
+use std::collections::HashMap;
+
+/// A regular `side × side` grid over the domain, each cell holding the
+/// objects located inside it. Exact and update-cheap, but queries must
+/// touch every candidate object — the index overhead of Table I.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    domain: Rect,
+    side: usize,
+    cells: Vec<Vec<GeoTextObject>>,
+    /// `oid → (cell, position within cell)` for O(1) removal.
+    locator: HashMap<ObjectId, (usize, usize)>,
+}
+
+impl GridIndex {
+    /// Builds an empty index with `side` cells per axis.
+    pub fn new(domain: Rect, side: usize) -> Self {
+        assert!(side >= 1, "grid needs at least one cell per axis");
+        GridIndex {
+            domain,
+            side,
+            cells: vec![Vec::new(); side * side],
+            locator: HashMap::new(),
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.locator.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locator.is_empty()
+    }
+
+    fn cell_of(&self, p: &Point) -> usize {
+        let fx = (p.x - self.domain.min_x) / self.domain.width();
+        let fy = (p.y - self.domain.min_y) / self.domain.height();
+        let cx = ((fx * self.side as f64) as isize).clamp(0, self.side as isize - 1) as usize;
+        let cy = ((fy * self.side as f64) as isize).clamp(0, self.side as isize - 1) as usize;
+        cy * self.side + cx
+    }
+
+    /// Inserts an object. Re-inserting an oid replaces the previous entry.
+    pub fn insert(&mut self, obj: &GeoTextObject) {
+        if self.locator.contains_key(&obj.oid) {
+            self.remove(obj.oid);
+        }
+        let cell = self.cell_of(&obj.loc);
+        self.locator.insert(obj.oid, (cell, self.cells[cell].len()));
+        self.cells[cell].push(obj.clone());
+    }
+
+    /// Removes by object id. Returns whether anything was removed.
+    pub fn remove(&mut self, oid: ObjectId) -> bool {
+        let Some((cell, pos)) = self.locator.remove(&oid) else {
+            return false;
+        };
+        let bucket = &mut self.cells[cell];
+        bucket.swap_remove(pos);
+        if pos < bucket.len() {
+            self.locator.insert(bucket[pos].oid, (cell, pos));
+        }
+        true
+    }
+
+    /// Exact count of indexed objects matching `query` (predicate checks
+    /// against every object in candidate cells).
+    pub fn count(&self, query: &RcDvq) -> u64 {
+        match query.range() {
+            Some(r) => self
+                .candidate_cells(r)
+                .map(|cell| {
+                    self.cells[cell]
+                        .iter()
+                        .filter(|o| query.matches(o))
+                        .count() as u64
+                })
+                .sum(),
+            None => self
+                .cells
+                .iter()
+                .flatten()
+                .filter(|o| query.matches(o))
+                .count() as u64,
+        }
+    }
+
+    /// Collects matching objects (used by tests and the executor's scan
+    /// fallback).
+    pub fn collect<'a>(&'a self, query: &'a RcDvq) -> Vec<&'a GeoTextObject> {
+        let mut out = Vec::new();
+        match query.range() {
+            Some(r) => {
+                for cell in self.candidate_cells(r) {
+                    out.extend(self.cells[cell].iter().filter(|o| query.matches(o)));
+                }
+            }
+            None => out.extend(self.cells.iter().flatten().filter(|o| query.matches(o))),
+        }
+        out
+    }
+
+    fn candidate_cells(&self, r: &Rect) -> impl Iterator<Item = usize> + '_ {
+        let clipped = r.intersection(&self.domain);
+        let side = self.side;
+        let (x0, x1, y0, y1) = match clipped {
+            None => (1, 0, 1, 0), // empty iteration
+            Some(c) => {
+                let w = self.domain.width() / side as f64;
+                let h = self.domain.height() / side as f64;
+                (
+                    (((c.min_x - self.domain.min_x) / w) as isize).clamp(0, side as isize - 1)
+                        as usize,
+                    (((c.max_x - self.domain.min_x) / w) as isize).clamp(0, side as isize - 1)
+                        as usize,
+                    (((c.min_y - self.domain.min_y) / h) as isize).clamp(0, side as isize - 1)
+                        as usize,
+                    (((c.max_y - self.domain.min_y) / h) as isize).clamp(0, side as isize - 1)
+                        as usize,
+                )
+            }
+        };
+        (y0..=y1.max(y0)).flat_map(move |cy| (x0..=x1.max(x0)).map(move |cx| cy * side + cx))
+            .filter(move |_| x1 >= x0 && y1 >= y0)
+    }
+
+    /// Clears the index.
+    pub fn clear(&mut self) {
+        self.cells.iter_mut().for_each(Vec::clear);
+        self.locator.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{KeywordId, Timestamp};
+
+    const DOMAIN: Rect = Rect {
+        min_x: 0.0,
+        min_y: 0.0,
+        max_x: 10.0,
+        max_y: 10.0,
+    };
+
+    fn obj(id: u64, x: f64, y: f64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(id),
+            Point::new(x, y),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp::ZERO,
+        )
+    }
+
+    #[test]
+    fn exact_spatial_count() {
+        let mut g = GridIndex::new(DOMAIN, 8);
+        for i in 0..20 {
+            g.insert(&obj(i, (i % 10) as f64 + 0.5, 0.5, &[]));
+        }
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 4.9, 1.0));
+        assert_eq!(g.count(&q), 10); // x in {0.5..4.5} twice each
+        assert_eq!(g.len(), 20);
+    }
+
+    #[test]
+    fn exact_keyword_count() {
+        let mut g = GridIndex::new(DOMAIN, 4);
+        for i in 0..30 {
+            g.insert(&obj(i, 1.0, 1.0, &[(i % 3) as u32]));
+        }
+        let q = RcDvq::keyword(vec![KeywordId(1)]);
+        assert_eq!(g.count(&q), 10);
+    }
+
+    #[test]
+    fn hybrid_count_checks_both() {
+        let mut g = GridIndex::new(DOMAIN, 4);
+        g.insert(&obj(1, 1.0, 1.0, &[7]));
+        g.insert(&obj(2, 1.0, 1.0, &[8]));
+        g.insert(&obj(3, 9.0, 9.0, &[7]));
+        let q = RcDvq::hybrid(Rect::new(0.0, 0.0, 2.0, 2.0), vec![KeywordId(7)]);
+        assert_eq!(g.count(&q), 1);
+        assert_eq!(g.collect(&q).len(), 1);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut g = GridIndex::new(DOMAIN, 4);
+        let o = obj(1, 5.0, 5.0, &[]);
+        g.insert(&o);
+        g.insert(&obj(2, 5.0, 5.0, &[]));
+        assert!(g.remove(o.oid));
+        assert!(!g.remove(o.oid));
+        assert_eq!(g.len(), 1);
+        let q = RcDvq::spatial(Rect::new(4.0, 4.0, 6.0, 6.0));
+        assert_eq!(g.count(&q), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut g = GridIndex::new(DOMAIN, 4);
+        g.insert(&obj(1, 1.0, 1.0, &[]));
+        g.insert(&obj(1, 9.0, 9.0, &[])); // same id, moved
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.count(&RcDvq::spatial(Rect::new(0.0, 0.0, 2.0, 2.0))), 0);
+        assert_eq!(g.count(&RcDvq::spatial(Rect::new(8.0, 8.0, 10.0, 10.0))), 1);
+    }
+
+    #[test]
+    fn locator_consistent_under_churn() {
+        let mut g = GridIndex::new(DOMAIN, 8);
+        for i in 0..500u64 {
+            g.insert(&obj(i, (i % 10) as f64, ((i / 10) % 10) as f64, &[]));
+            if i >= 100 {
+                g.remove(ObjectId(i - 100));
+            }
+        }
+        assert_eq!(g.len(), 100);
+        for (oid, &(cell, pos)) in &g.locator {
+            assert_eq!(g.cells[cell][pos].oid, *oid);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_query() {
+        let mut g = GridIndex::new(DOMAIN, 4);
+        g.insert(&obj(1, 5.0, 5.0, &[]));
+        let q = RcDvq::spatial(Rect::new(50.0, 50.0, 60.0, 60.0));
+        assert_eq!(g.count(&q), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut g = GridIndex::new(DOMAIN, 4);
+        g.insert(&obj(1, 5.0, 5.0, &[]));
+        g.clear();
+        assert!(g.is_empty());
+    }
+}

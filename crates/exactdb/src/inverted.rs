@@ -1,0 +1,182 @@
+//! Inverted keyword index: `keyword → postings of objects carrying it`.
+
+use geostream::{GeoTextObject, KeywordId, ObjectId, RcDvq};
+use std::collections::{HashMap, HashSet};
+
+/// An inverted index over object keywords, backed by an object store so
+/// hybrid queries can finish predicate evaluation on the posting lists.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<KeywordId, HashSet<ObjectId>>,
+    objects: HashMap<ObjectId, GeoTextObject>,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Number of distinct keywords with non-empty postings.
+    pub fn distinct_keywords(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Indexes an object under each of its keywords.
+    pub fn insert(&mut self, obj: &GeoTextObject) {
+        if self.objects.contains_key(&obj.oid) {
+            self.remove(obj.oid);
+        }
+        for &kw in obj.keywords.iter() {
+            self.postings.entry(kw).or_default().insert(obj.oid);
+        }
+        self.objects.insert(obj.oid, obj.clone());
+    }
+
+    /// Removes an object from all posting lists.
+    pub fn remove(&mut self, oid: ObjectId) -> bool {
+        let Some(obj) = self.objects.remove(&oid) else {
+            return false;
+        };
+        for &kw in obj.keywords.iter() {
+            if let Some(set) = self.postings.get_mut(&kw) {
+                set.remove(&oid);
+                if set.is_empty() {
+                    self.postings.remove(&kw);
+                }
+            }
+        }
+        true
+    }
+
+    /// Posting-list size for one keyword.
+    pub fn postings_len(&self, kw: KeywordId) -> usize {
+        self.postings.get(&kw).map_or(0, HashSet::len)
+    }
+
+    /// Exact count of objects matching `query`, using the union of the
+    /// query keywords' posting lists as the access path (the spatial
+    /// predicate, if any, is verified on the stored objects).
+    ///
+    /// # Panics
+    /// Panics if the query has no keyword predicate — the inverted index
+    /// has no access path for pure spatial queries.
+    pub fn count(&self, query: &RcDvq) -> u64 {
+        let kws = query.keywords();
+        assert!(
+            !kws.is_empty(),
+            "inverted index needs a keyword predicate"
+        );
+        let mut seen: HashSet<ObjectId> = HashSet::new();
+        let mut count = 0u64;
+        for &kw in kws {
+            if let Some(posting) = self.postings.get(&kw) {
+                for &oid in posting {
+                    if seen.insert(oid) {
+                        let obj = &self.objects[&oid];
+                        if query.range().is_none_or(|r| r.contains(&obj.loc)) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Clears the index.
+    pub fn clear(&mut self) {
+        self.postings.clear();
+        self.objects.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{Point, Rect, Timestamp};
+
+    fn obj(id: u64, x: f64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(id),
+            Point::new(x, 0.0),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp::ZERO,
+        )
+    }
+
+    #[test]
+    fn counts_union_of_postings() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(&obj(1, 0.0, &[1, 2]));
+        idx.insert(&obj(2, 0.0, &[2]));
+        idx.insert(&obj(3, 0.0, &[3]));
+        let q = RcDvq::keyword(vec![KeywordId(1), KeywordId(2)]);
+        // Object 1 matches both keywords but counts once.
+        assert_eq!(idx.count(&q), 2);
+        assert_eq!(idx.postings_len(KeywordId(2)), 2);
+        assert_eq!(idx.distinct_keywords(), 3);
+    }
+
+    #[test]
+    fn hybrid_checks_spatial_predicate() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(&obj(1, 1.0, &[7]));
+        idx.insert(&obj(2, 50.0, &[7]));
+        let q = RcDvq::hybrid(Rect::new(0.0, -1.0, 10.0, 1.0), vec![KeywordId(7)]);
+        assert_eq!(idx.count(&q), 1);
+    }
+
+    #[test]
+    fn remove_cleans_postings() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(&obj(1, 0.0, &[1]));
+        assert!(idx.remove(ObjectId(1)));
+        assert!(!idx.remove(ObjectId(1)));
+        assert_eq!(idx.distinct_keywords(), 0);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(&obj(1, 0.0, &[1]));
+        idx.insert(&obj(1, 0.0, &[2]));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.postings_len(KeywordId(1)), 0);
+        assert_eq!(idx.postings_len(KeywordId(2)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "keyword predicate")]
+    fn pure_spatial_rejected() {
+        let idx = InvertedIndex::new();
+        let _ = idx.count(&RcDvq::spatial(Rect::new(0.0, 0.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn missing_keyword_counts_zero() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(&obj(1, 0.0, &[1]));
+        assert_eq!(idx.count(&RcDvq::keyword(vec![KeywordId(99)])), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(&obj(1, 0.0, &[1]));
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.distinct_keywords(), 0);
+    }
+}

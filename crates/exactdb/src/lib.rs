@@ -1,0 +1,22 @@
+//! # exactdb — exact spatio-textual query execution over the window
+//!
+//! LATEST never trusts an estimator blindly: after the query plan runs,
+//! the *actual* selectivity appears in the system logs and is used to (a)
+//! score the estimate and (b) extend the Hoeffding tree's training data
+//! (paper §V-D). This crate is that ground-truth substrate: full indexes
+//! over the sliding window that answer RC-DVQ queries **exactly**.
+//!
+//! Two spatial backends are provided — a [`grid::GridIndex`] and a
+//! [`quad::QuadtreeIndex`] — plus an [`inverted::InvertedIndex`] over
+//! keywords. [`ExactExecutor`] combines a spatial backend with the inverted
+//! index and picks the cheaper access path per query. These are also the
+//! "Grid" and "QuadTree" index columns of the paper's Table I: exact
+//! indexes touch real objects, which is why they cost 15–16× an estimator.
+
+pub mod executor;
+pub mod grid;
+pub mod inverted;
+pub mod quad;
+pub mod rtree;
+
+pub use executor::{ExactExecutor, SpatialIndexKind};

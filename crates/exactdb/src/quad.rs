@@ -1,0 +1,256 @@
+//! Full PR-quadtree index storing the actual window objects.
+
+use geostream::{GeoTextObject, ObjectId, Point, RcDvq, Rect};
+use std::collections::HashMap;
+
+type NodeId = u32;
+
+#[derive(Debug, Clone)]
+struct QuadNode {
+    rect: Rect,
+    bucket: Vec<GeoTextObject>,
+    children: Option<[NodeId; 4]>,
+    depth: u16,
+}
+
+/// A point-region quadtree over the domain: leaves hold up to
+/// `bucket_capacity` objects and split on overflow. Exact query answering
+/// with spatial pruning; the QuadTree index column of Table I.
+#[derive(Debug, Clone)]
+pub struct QuadtreeIndex {
+    nodes: Vec<QuadNode>,
+    bucket_capacity: usize,
+    max_depth: u16,
+    /// `oid → leaf` hint for removals (positions shift, so the bucket is
+    /// searched within the leaf).
+    locator: HashMap<ObjectId, NodeId>,
+}
+
+impl QuadtreeIndex {
+    /// Builds an empty index over `domain`.
+    pub fn new(domain: Rect, bucket_capacity: usize, max_depth: u16) -> Self {
+        assert!(bucket_capacity >= 1, "bucket capacity must be positive");
+        QuadtreeIndex {
+            nodes: vec![QuadNode {
+                rect: domain,
+                bucket: Vec::new(),
+                children: None,
+                depth: 0,
+            }],
+            bucket_capacity,
+            max_depth,
+            locator: HashMap::new(),
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.locator.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locator.is_empty()
+    }
+
+    /// Number of tree nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn leaf_for(&self, p: &Point) -> NodeId {
+        let mut id: NodeId = 0;
+        while let Some(children) = self.nodes[id as usize].children {
+            let q = self.nodes[id as usize].rect.quadrant_of(p);
+            id = children[q];
+        }
+        id
+    }
+
+    /// Inserts an object. Re-inserting an oid replaces the previous entry.
+    pub fn insert(&mut self, obj: &GeoTextObject) {
+        if self.locator.contains_key(&obj.oid) {
+            self.remove(obj.oid, &obj.loc);
+        }
+        let leaf = self.leaf_for(&obj.loc);
+        self.nodes[leaf as usize].bucket.push(obj.clone());
+        self.locator.insert(obj.oid, leaf);
+        if self.nodes[leaf as usize].bucket.len() > self.bucket_capacity
+            && self.nodes[leaf as usize].depth < self.max_depth
+        {
+            self.split(leaf);
+        }
+    }
+
+    fn split(&mut self, id: NodeId) {
+        let quadrants = self.nodes[id as usize].rect.quadrants();
+        let depth = self.nodes[id as usize].depth + 1;
+        let base = self.nodes.len() as NodeId;
+        for rect in quadrants {
+            self.nodes.push(QuadNode {
+                rect,
+                bucket: Vec::new(),
+                children: None,
+                depth,
+            });
+        }
+        let children = [base, base + 1, base + 2, base + 3];
+        let bucket = std::mem::take(&mut self.nodes[id as usize].bucket);
+        let rect = self.nodes[id as usize].rect;
+        for obj in bucket {
+            let q = rect.quadrant_of(&obj.loc);
+            self.locator.insert(obj.oid, children[q]);
+            self.nodes[children[q] as usize].bucket.push(obj);
+        }
+        self.nodes[id as usize].children = Some(children);
+    }
+
+    /// Removes by object id (`loc` is unused but kept for symmetry with
+    /// grid removal APIs). Returns whether anything was removed.
+    pub fn remove(&mut self, oid: ObjectId, _loc: &Point) -> bool {
+        let Some(leaf) = self.locator.remove(&oid) else {
+            return false;
+        };
+        let bucket = &mut self.nodes[leaf as usize].bucket;
+        if let Some(pos) = bucket.iter().position(|o| o.oid == oid) {
+            bucket.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Exact count of indexed objects matching `query`.
+    pub fn count(&self, query: &RcDvq) -> u64 {
+        let mut total = 0u64;
+        let mut stack: Vec<NodeId> = vec![0];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if let Some(r) = query.range() {
+                if !node.rect.intersects(r) {
+                    continue;
+                }
+            }
+            total += node.bucket.iter().filter(|o| query.matches(o)).count() as u64;
+            if let Some(children) = node.children {
+                stack.extend_from_slice(&children);
+            }
+        }
+        total
+    }
+
+    /// Clears the index.
+    pub fn clear(&mut self) {
+        let domain = self.nodes[0].rect;
+        self.nodes.clear();
+        self.nodes.push(QuadNode {
+            rect: domain,
+            bucket: Vec::new(),
+            children: None,
+            depth: 0,
+        });
+        self.locator.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{KeywordId, Timestamp};
+
+    const DOMAIN: Rect = Rect {
+        min_x: 0.0,
+        min_y: 0.0,
+        max_x: 16.0,
+        max_y: 16.0,
+    };
+
+    fn obj(id: u64, x: f64, y: f64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(id),
+            Point::new(x, y),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp::ZERO,
+        )
+    }
+
+    #[test]
+    fn exact_counts_after_splits() {
+        let mut q = QuadtreeIndex::new(DOMAIN, 4, 10);
+        for i in 0..100u64 {
+            q.insert(&obj(i, (i % 16) as f64 + 0.1, ((i / 16) % 16) as f64 + 0.1, &[]));
+        }
+        assert!(q.node_count() > 1, "never split");
+        assert_eq!(q.count(&RcDvq::spatial(DOMAIN)), 100);
+        let west = RcDvq::spatial(Rect::new(0.0, 0.0, 7.9, 16.0));
+        let expected = (0..100u64).filter(|i| (i % 16) as f64 + 0.1 <= 7.9).count() as u64;
+        assert_eq!(q.count(&west), expected);
+    }
+
+    #[test]
+    fn keyword_and_hybrid() {
+        let mut q = QuadtreeIndex::new(DOMAIN, 2, 10);
+        q.insert(&obj(1, 1.0, 1.0, &[5]));
+        q.insert(&obj(2, 1.0, 1.0, &[6]));
+        q.insert(&obj(3, 14.0, 14.0, &[5]));
+        assert_eq!(q.count(&RcDvq::keyword(vec![KeywordId(5)])), 2);
+        let h = RcDvq::hybrid(Rect::new(0.0, 0.0, 2.0, 2.0), vec![KeywordId(5)]);
+        assert_eq!(q.count(&h), 1);
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut q = QuadtreeIndex::new(DOMAIN, 2, 10);
+        let objects: Vec<_> = (0..20).map(|i| obj(i, 1.0 + (i as f64) * 0.1, 1.0, &[])).collect();
+        for o in &objects {
+            q.insert(o);
+        }
+        assert_eq!(q.len(), 20);
+        for o in objects.iter().take(10) {
+            assert!(q.remove(o.oid, &o.loc));
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.count(&RcDvq::spatial(DOMAIN)), 10);
+        assert!(!q.remove(objects[0].oid, &objects[0].loc));
+    }
+
+    #[test]
+    fn locator_survives_splits() {
+        let mut q = QuadtreeIndex::new(DOMAIN, 3, 10);
+        let objects: Vec<_> = (0..50)
+            .map(|i| obj(i, (i % 16) as f64, ((i * 7) % 16) as f64, &[]))
+            .collect();
+        for o in &objects {
+            q.insert(o);
+        }
+        // Every locator entry must point at a leaf containing the object.
+        for o in &objects {
+            let leaf = q.locator[&o.oid];
+            assert!(
+                q.nodes[leaf as usize].bucket.iter().any(|b| b.oid == o.oid),
+                "object {:?} not in its located leaf",
+                o.oid
+            );
+        }
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut q = QuadtreeIndex::new(DOMAIN, 2, 10);
+        q.insert(&obj(1, 1.0, 1.0, &[]));
+        q.insert(&obj(1, 15.0, 15.0, &[]));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.count(&RcDvq::spatial(Rect::new(0.0, 0.0, 2.0, 2.0))), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut q = QuadtreeIndex::new(DOMAIN, 2, 10);
+        for i in 0..20 {
+            q.insert(&obj(i, 1.0, 1.0, &[]));
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.node_count(), 1);
+    }
+}

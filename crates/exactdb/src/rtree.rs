@@ -1,0 +1,552 @@
+//! R-tree spatial index (quadratic-split R-tree) — the third index family
+//! §IV alludes to ("modified R-tree and its variations").
+//!
+//! A classic dynamic R-tree over the window objects: leaf entries are the
+//! objects themselves, internal entries are child bounding rectangles.
+//! Inserts follow the least-enlargement path and split overflowing nodes
+//! with Guttman's quadratic seeds; deletes locate the object via an
+//! `oid → leaf` locator and condense upward. Exact query answering with
+//! MBR pruning.
+
+use geostream::{GeoTextObject, ObjectId, Point, RcDvq, Rect};
+use std::collections::HashMap;
+
+type NodeId = u32;
+
+/// Maximum entries per node before splitting.
+const MAX_ENTRIES: usize = 16;
+/// Minimum entries after a split (Guttman's `m`).
+const MIN_ENTRIES: usize = 6;
+
+#[derive(Debug, Clone)]
+struct Node {
+    mbr: Rect,
+    parent: Option<NodeId>,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf(Vec<GeoTextObject>),
+    Internal(Vec<NodeId>),
+}
+
+/// A dynamic R-tree over window objects.
+#[derive(Debug, Clone)]
+pub struct RTreeIndex {
+    nodes: Vec<Node>,
+    root: NodeId,
+    locator: HashMap<ObjectId, NodeId>,
+    len: usize,
+}
+
+/// The degenerate rectangle of a point.
+fn point_rect(p: &Point) -> Rect {
+    Rect::new(p.x, p.y, p.x, p.y)
+}
+
+/// The smallest rectangle containing both.
+fn join(a: &Rect, b: &Rect) -> Rect {
+    Rect::new(
+        a.min_x.min(b.min_x),
+        a.min_y.min(b.min_y),
+        a.max_x.max(b.max_x),
+        a.max_y.max(b.max_y),
+    )
+}
+
+/// Area growth of `mbr` if it had to absorb `add`.
+fn enlargement(mbr: &Rect, add: &Rect) -> f64 {
+    join(mbr, add).area() - mbr.area()
+}
+
+impl Default for RTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTreeIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        RTreeIndex {
+            nodes: vec![Node {
+                mbr: Rect::new(0.0, 0.0, 0.0, 0.0),
+                parent: None,
+                kind: NodeKind::Leaf(Vec::new()),
+            }],
+            root: 0,
+            locator: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (leaf = 1).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize].kind {
+                NodeKind::Leaf(_) => return h,
+                NodeKind::Internal(children) => {
+                    id = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Chooses the leaf for `rect` by least enlargement (ties by area).
+    fn choose_leaf(&self, rect: &Rect) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize].kind {
+                NodeKind::Leaf(_) => return id,
+                NodeKind::Internal(children) => {
+                    id = *children
+                        .iter()
+                        .min_by(|&&a, &&b| {
+                            let na = &self.nodes[a as usize];
+                            let nb = &self.nodes[b as usize];
+                            enlargement(&na.mbr, rect)
+                                .partial_cmp(&enlargement(&nb.mbr, rect))
+                                .expect("finite areas")
+                                .then(
+                                    na.mbr
+                                        .area()
+                                        .partial_cmp(&nb.mbr.area())
+                                        .expect("finite areas"),
+                                )
+                        })
+                        .expect("internal nodes are non-empty");
+                }
+            }
+        }
+    }
+
+    /// Inserts an object. Re-inserting an oid replaces the previous entry.
+    pub fn insert(&mut self, obj: &GeoTextObject) {
+        if self.locator.contains_key(&obj.oid) {
+            self.remove(obj.oid);
+        }
+        let rect = point_rect(&obj.loc);
+        let leaf = self.choose_leaf(&rect);
+        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf as usize].kind {
+            entries.push(obj.clone());
+        } else {
+            unreachable!("choose_leaf returns a leaf");
+        }
+        self.locator.insert(obj.oid, leaf);
+        self.len += 1;
+        if self.entry_count(leaf) == 1 {
+            self.nodes[leaf as usize].mbr = rect;
+        }
+        self.adjust_mbr_upward(leaf);
+        if self.entry_count(leaf) > MAX_ENTRIES {
+            self.split(leaf);
+        }
+    }
+
+    fn entry_count(&self, id: NodeId) -> usize {
+        match &self.nodes[id as usize].kind {
+            NodeKind::Leaf(entries) => entries.len(),
+            NodeKind::Internal(children) => children.len(),
+        }
+    }
+
+    fn recompute_mbr(&mut self, id: NodeId) {
+        let mbr = match &self.nodes[id as usize].kind {
+            NodeKind::Leaf(entries) => entries
+                .iter()
+                .map(|o| point_rect(&o.loc))
+                .reduce(|a, b| join(&a, &b)),
+            NodeKind::Internal(children) => children
+                .iter()
+                .map(|&c| self.nodes[c as usize].mbr)
+                .reduce(|a, b| join(&a, &b)),
+        };
+        if let Some(mbr) = mbr {
+            self.nodes[id as usize].mbr = mbr;
+        }
+    }
+
+    fn adjust_mbr_upward(&mut self, mut id: NodeId) {
+        loop {
+            self.recompute_mbr(id);
+            match self.nodes[id as usize].parent {
+                Some(p) => id = p,
+                None => break,
+            }
+        }
+    }
+
+    /// Quadratic split of an overflowing node.
+    fn split(&mut self, id: NodeId) {
+        // Collect the entry MBRs for seed picking.
+        let rects: Vec<Rect> = match &self.nodes[id as usize].kind {
+            NodeKind::Leaf(entries) => entries.iter().map(|o| point_rect(&o.loc)).collect(),
+            NodeKind::Internal(children) => children
+                .iter()
+                .map(|&c| self.nodes[c as usize].mbr)
+                .collect(),
+        };
+        // Guttman quadratic seeds: the pair wasting the most area.
+        let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+        for (i, ri) in rects.iter().enumerate() {
+            for (j, rj) in rects.iter().enumerate().skip(i + 1) {
+                let waste = join(ri, rj).area() - ri.area() - rj.area();
+                if waste > worst {
+                    worst = waste;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+        // Partition indices between the two groups by least enlargement,
+        // honoring the minimum fill.
+        let n = rects.len();
+        let mut group1 = vec![s1];
+        let mut group2 = vec![s2];
+        let mut mbr1 = rects[s1];
+        let mut mbr2 = rects[s2];
+        for (i, rect) in rects.iter().enumerate() {
+            if i == s1 || i == s2 {
+                continue;
+            }
+            let remaining = n - i - 1;
+            if group1.len() + remaining < MIN_ENTRIES {
+                group1.push(i);
+                mbr1 = join(&mbr1, rect);
+                continue;
+            }
+            if group2.len() + remaining < MIN_ENTRIES {
+                group2.push(i);
+                mbr2 = join(&mbr2, rect);
+                continue;
+            }
+            if enlargement(&mbr1, rect) <= enlargement(&mbr2, rect) {
+                group1.push(i);
+                mbr1 = join(&mbr1, rect);
+            } else {
+                group2.push(i);
+                mbr2 = join(&mbr2, rect);
+            }
+        }
+        // Build the sibling node holding group2.
+        let sibling = self.nodes.len() as NodeId;
+        let parent = self.nodes[id as usize].parent;
+        let sibling_kind = match &mut self.nodes[id as usize].kind {
+            NodeKind::Leaf(entries) => {
+                let mut kept = Vec::with_capacity(group1.len());
+                let mut moved = Vec::with_capacity(group2.len());
+                let old = std::mem::take(entries);
+                for (i, obj) in old.into_iter().enumerate() {
+                    if group2.contains(&i) {
+                        moved.push(obj);
+                    } else {
+                        kept.push(obj);
+                    }
+                }
+                *entries = kept;
+                NodeKind::Leaf(moved)
+            }
+            NodeKind::Internal(children) => {
+                let mut kept = Vec::with_capacity(group1.len());
+                let mut moved = Vec::with_capacity(group2.len());
+                let old = std::mem::take(children);
+                for (i, child) in old.into_iter().enumerate() {
+                    if group2.contains(&i) {
+                        moved.push(child);
+                    } else {
+                        kept.push(child);
+                    }
+                }
+                *children = kept;
+                NodeKind::Internal(moved)
+            }
+        };
+        self.nodes.push(Node {
+            mbr: mbr2,
+            parent,
+            kind: sibling_kind,
+        });
+        self.nodes[id as usize].mbr = mbr1;
+        // Fix locators / child parents for moved entries.
+        match &self.nodes[sibling as usize].kind {
+            NodeKind::Leaf(entries) => {
+                // Clone oids first to appease the borrow checker.
+                let oids: Vec<ObjectId> = entries.iter().map(|o| o.oid).collect();
+                for oid in oids {
+                    self.locator.insert(oid, sibling);
+                }
+            }
+            NodeKind::Internal(children) => {
+                let kids = children.clone();
+                for c in kids {
+                    self.nodes[c as usize].parent = Some(sibling);
+                }
+            }
+        }
+        match parent {
+            Some(p) => {
+                if let NodeKind::Internal(children) = &mut self.nodes[p as usize].kind {
+                    children.push(sibling);
+                } else {
+                    unreachable!("parents are internal");
+                }
+                self.adjust_mbr_upward(p);
+                if self.entry_count(p) > MAX_ENTRIES {
+                    self.split(p);
+                }
+            }
+            None => {
+                // Split the root: grow the tree by one level.
+                let new_root = self.nodes.len() as NodeId;
+                self.nodes.push(Node {
+                    mbr: join(&mbr1, &mbr2),
+                    parent: None,
+                    kind: NodeKind::Internal(vec![id, sibling]),
+                });
+                self.nodes[id as usize].parent = Some(new_root);
+                self.nodes[sibling as usize].parent = Some(new_root);
+                self.root = new_root;
+            }
+        }
+    }
+
+    /// Removes by object id. Returns whether anything was removed.
+    ///
+    /// Underfull leaves are tolerated (no re-insertion pass): for a
+    /// windowed stream the constant churn keeps occupancy healthy, and
+    /// query exactness never depends on fill factors.
+    pub fn remove(&mut self, oid: ObjectId) -> bool {
+        let Some(leaf) = self.locator.remove(&oid) else {
+            return false;
+        };
+        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf as usize].kind {
+            if let Some(pos) = entries.iter().position(|o| o.oid == oid) {
+                entries.swap_remove(pos);
+                self.len -= 1;
+                self.adjust_mbr_upward(leaf);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exact count of indexed objects matching `query`.
+    pub fn count(&self, query: &RcDvq) -> u64 {
+        let mut total = 0u64;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if let Some(r) = query.range() {
+                if !node.mbr.intersects(r) {
+                    continue;
+                }
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    total += entries.iter().filter(|o| query.matches(o)).count() as u64;
+                }
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+            }
+        }
+        total
+    }
+
+    /// Clears the index.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node {
+            mbr: Rect::new(0.0, 0.0, 0.0, 0.0),
+            parent: None,
+            kind: NodeKind::Leaf(Vec::new()),
+        });
+        self.root = 0;
+        self.locator.clear();
+        self.len = 0;
+    }
+
+    /// Structural invariant check (used by tests): every child's MBR is
+    /// contained in its parent's, every leaf entry is inside its leaf MBR,
+    /// and the locator is exact.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut seen = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    for o in entries {
+                        assert!(
+                            node.mbr.contains(&o.loc),
+                            "object outside its leaf MBR"
+                        );
+                        assert_eq!(self.locator.get(&o.oid), Some(&id), "stale locator");
+                        seen += 1;
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    assert!(!children.is_empty(), "empty internal node");
+                    for &c in children {
+                        let child = &self.nodes[c as usize];
+                        assert!(
+                            node.mbr.contains_rect(&child.mbr),
+                            "child MBR escapes parent"
+                        );
+                        assert_eq!(child.parent, Some(id), "broken parent link");
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        assert_eq!(seen, self.len, "length drifted from contents");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{KeywordId, Timestamp};
+
+    fn obj(id: u64, x: f64, y: f64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(id),
+            Point::new(x, y),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp::ZERO,
+        )
+    }
+
+    fn scattered(n: u64) -> Vec<GeoTextObject> {
+        let mut s = 99u64;
+        (0..n)
+            .map(|i| {
+                s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let x = (s >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let y = (s >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                obj(i, x, y, &[(i % 13) as u32])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_counts_match_brute_force() {
+        let objects = scattered(800);
+        let mut t = RTreeIndex::new();
+        for o in &objects {
+            t.insert(o);
+        }
+        t.check_invariants();
+        assert!(t.height() > 1, "tree never grew");
+        for q in [
+            RcDvq::spatial(Rect::new(10.0, 10.0, 60.0, 40.0)),
+            RcDvq::keyword(vec![KeywordId(5)]),
+            RcDvq::hybrid(Rect::new(0.0, 0.0, 50.0, 100.0), vec![KeywordId(2)]),
+        ] {
+            let brute = objects.iter().filter(|o| q.matches(o)).count() as u64;
+            assert_eq!(t.count(&q), brute, "mismatch on {q:?}");
+        }
+    }
+
+    #[test]
+    fn removal_keeps_exactness_and_invariants() {
+        let objects = scattered(500);
+        let mut t = RTreeIndex::new();
+        for o in &objects {
+            t.insert(o);
+        }
+        for o in objects.iter().take(300) {
+            assert!(t.remove(o.oid));
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 200);
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 100.0, 100.0));
+        assert_eq!(t.count(&q), 200);
+        assert!(!t.remove(objects[0].oid), "double remove must fail");
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut t = RTreeIndex::new();
+        t.insert(&obj(1, 10.0, 10.0, &[]));
+        t.insert(&obj(1, 90.0, 90.0, &[]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.count(&RcDvq::spatial(Rect::new(0.0, 0.0, 20.0, 20.0))), 0);
+        assert_eq!(
+            t.count(&RcDvq::spatial(Rect::new(80.0, 80.0, 100.0, 100.0))),
+            1
+        );
+    }
+
+    #[test]
+    fn churn_preserves_invariants() {
+        let mut t = RTreeIndex::new();
+        let objects = scattered(1_500);
+        for (i, o) in objects.iter().enumerate() {
+            t.insert(o);
+            if i >= 400 {
+                t.remove(objects[i - 400].oid);
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 400);
+    }
+
+    #[test]
+    fn disjoint_query_is_zero() {
+        let mut t = RTreeIndex::new();
+        for o in scattered(100) {
+            t.insert(&o);
+        }
+        assert_eq!(
+            t.count(&RcDvq::spatial(Rect::new(500.0, 500.0, 600.0, 600.0))),
+            0
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = RTreeIndex::new();
+        for o in scattered(100) {
+            t.insert(&o);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn clustered_data_builds_tight_mbrs() {
+        // Two far-apart clusters: the root's children should separate them
+        // (small total child area vs. the root MBR).
+        let mut t = RTreeIndex::new();
+        let mut id = 0u64;
+        for i in 0..60 {
+            t.insert(&obj(id, 1.0 + (i % 8) as f64 * 0.1, 1.0, &[]));
+            id += 1;
+            t.insert(&obj(id, 90.0 + (i % 8) as f64 * 0.1, 90.0, &[]));
+            id += 1;
+        }
+        t.check_invariants();
+        // Query between the clusters touches nothing.
+        assert_eq!(
+            t.count(&RcDvq::spatial(Rect::new(30.0, 30.0, 60.0, 60.0))),
+            0
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # geostream — geo-textual stream substrate
+//!
+//! This crate provides the data substrate the LATEST reproduction is built
+//! on: the geo-textual object model from the paper's problem definition
+//! (§III), planar geometry for spatial predicates, an interned keyword
+//! vocabulary, a sliding time window `S_T`, and synthetic stream generators
+//! that stand in for the paper's Twitter / eBird / Foursquare CheckIn
+//! datasets.
+//!
+//! Every object in a stream `S` is a tuple `(oid, loc, kw, timestamp)`
+//! ([`GeoTextObject`]). A window [`window::SlidingWindow`] keeps the objects
+//! of the last `T` time units, which is the population every selectivity
+//! estimate refers to.
+//!
+//! The [`synth`] module generates streams whose spatial skew (Gaussian
+//! hotspot mixtures), textual skew (Zipf keyword frequencies), and temporal
+//! drift reproduce the statistical structure that drives the paper's
+//! experiments, at laptop scale.
+
+pub mod geometry;
+pub mod object;
+pub mod query;
+pub mod stream;
+pub mod synth;
+pub mod time;
+pub mod vocab;
+pub mod window;
+
+pub use geometry::{Point, Rect};
+pub use object::{GeoTextObject, ObjectId};
+pub use query::{QueryType, RcDvq};
+pub use time::{Duration, Timestamp};
+pub use vocab::{KeywordId, Vocabulary};
+pub use window::SlidingWindow;

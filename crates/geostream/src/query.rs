@@ -1,0 +1,197 @@
+//! The RC-DVQ estimation query (§III).
+//!
+//! A **Range-Counting Distinct-Value Query** `q = (R, W)` asks for the
+//! number of window objects that (1) lie inside the optional spatial range
+//! `R` and (2) carry at least one of the optional query keywords `W`. Both
+//! predicates are optional (but not both absent), which degrades the query
+//! to a pure range-counting query `q = (R)` or a pure distinct-value query
+//! `q = (W)` — the flexibility LATEST is designed around.
+
+use crate::geometry::Rect;
+use crate::vocab::KeywordId;
+use serde::{Deserialize, Serialize};
+
+/// Classification of a query by which predicates it carries. This is one of
+/// the workload features the learning model trains on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryType {
+    /// Only a spatial range (pure range-counting query).
+    Spatial,
+    /// Only keywords (pure distinct-value query).
+    Keyword,
+    /// Both predicates.
+    Hybrid,
+}
+
+impl QueryType {
+    /// Stable dense index, used as a categorical ML feature.
+    pub fn index(self) -> u32 {
+        match self {
+            QueryType::Spatial => 0,
+            QueryType::Keyword => 1,
+            QueryType::Hybrid => 2,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryType::Spatial => "spatial",
+            QueryType::Keyword => "keyword",
+            QueryType::Hybrid => "hybrid",
+        }
+    }
+
+    /// Number of query types (arity of the categorical feature).
+    pub const COUNT: u32 = 3;
+}
+
+/// A Range-Counting Distinct-Value estimation query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcDvq {
+    range: Option<Rect>,
+    /// Sorted, deduplicated query keywords. Empty means "no keyword
+    /// predicate".
+    keywords: Vec<KeywordId>,
+}
+
+impl RcDvq {
+    /// Builds a query from optional predicates.
+    ///
+    /// # Panics
+    /// Panics if both predicates are absent — such a query would just count
+    /// the window.
+    pub fn new(range: Option<Rect>, mut keywords: Vec<KeywordId>) -> Self {
+        keywords.sort_unstable();
+        keywords.dedup();
+        assert!(
+            range.is_some() || !keywords.is_empty(),
+            "RC-DVQ needs at least one predicate"
+        );
+        RcDvq { range, keywords }
+    }
+
+    /// Pure range-counting query `q = (R)`.
+    pub fn spatial(range: Rect) -> Self {
+        RcDvq::new(Some(range), Vec::new())
+    }
+
+    /// Pure distinct-value query `q = (W)`.
+    pub fn keyword(keywords: Vec<KeywordId>) -> Self {
+        RcDvq::new(None, keywords)
+    }
+
+    /// Hybrid query `q = (R, W)`.
+    pub fn hybrid(range: Rect, keywords: Vec<KeywordId>) -> Self {
+        assert!(!keywords.is_empty(), "hybrid query needs keywords");
+        RcDvq::new(Some(range), keywords)
+    }
+
+    /// The spatial predicate, if present.
+    pub fn range(&self) -> Option<&Rect> {
+        self.range.as_ref()
+    }
+
+    /// The keyword predicate (sorted, deduplicated; empty if absent).
+    pub fn keywords(&self) -> &[KeywordId] {
+        &self.keywords
+    }
+
+    /// Which predicates the query carries.
+    pub fn query_type(&self) -> QueryType {
+        match (self.range.is_some(), self.keywords.is_empty()) {
+            (true, true) => QueryType::Spatial,
+            (false, false) => QueryType::Keyword,
+            (true, false) => QueryType::Hybrid,
+            (false, true) => unreachable!("constructor forbids empty query"),
+        }
+    }
+
+    /// Whether `obj` satisfies both predicates (the exact-match test used by
+    /// the ground-truth executor and samplers).
+    pub fn matches(&self, obj: &crate::object::GeoTextObject) -> bool {
+        if let Some(r) = &self.range {
+            if !r.contains(&obj.loc) {
+                return false;
+            }
+        }
+        if !self.keywords.is_empty() && !obj.matches_any_keyword(&self.keywords) {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::object::{GeoTextObject, ObjectId};
+    use crate::time::Timestamp;
+
+    fn obj(x: f64, y: f64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(0),
+            Point::new(x, y),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp::ZERO,
+        )
+    }
+
+    #[test]
+    fn query_type_classification() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(RcDvq::spatial(r).query_type(), QueryType::Spatial);
+        assert_eq!(
+            RcDvq::keyword(vec![KeywordId(1)]).query_type(),
+            QueryType::Keyword
+        );
+        assert_eq!(
+            RcDvq::hybrid(r, vec![KeywordId(1)]).query_type(),
+            QueryType::Hybrid
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one predicate")]
+    fn rejects_empty_query() {
+        let _ = RcDvq::new(None, vec![]);
+    }
+
+    #[test]
+    fn keywords_sorted_deduped() {
+        let q = RcDvq::keyword(vec![KeywordId(3), KeywordId(1), KeywordId(3)]);
+        assert_eq!(q.keywords(), &[KeywordId(1), KeywordId(3)]);
+    }
+
+    #[test]
+    fn matches_spatial_only() {
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert!(q.matches(&obj(0.5, 0.5, &[])));
+        assert!(!q.matches(&obj(2.0, 0.5, &[])));
+    }
+
+    #[test]
+    fn matches_keyword_only() {
+        let q = RcDvq::keyword(vec![KeywordId(7)]);
+        assert!(q.matches(&obj(99.0, 99.0, &[7, 9])));
+        assert!(!q.matches(&obj(0.0, 0.0, &[6])));
+    }
+
+    #[test]
+    fn matches_hybrid_requires_both() {
+        let q = RcDvq::hybrid(Rect::new(0.0, 0.0, 1.0, 1.0), vec![KeywordId(7)]);
+        assert!(q.matches(&obj(0.5, 0.5, &[7])));
+        assert!(!q.matches(&obj(0.5, 0.5, &[8])));
+        assert!(!q.matches(&obj(5.0, 0.5, &[7])));
+    }
+
+    #[test]
+    fn type_indices_are_dense() {
+        assert_eq!(QueryType::Spatial.index(), 0);
+        assert_eq!(QueryType::Keyword.index(), 1);
+        assert_eq!(QueryType::Hybrid.index(), 2);
+        assert_eq!(QueryType::COUNT, 3);
+        assert_eq!(QueryType::Hybrid.name(), "hybrid");
+    }
+}

@@ -1,0 +1,126 @@
+//! Stream event plumbing: timestamped items and merge iteration.
+//!
+//! The LATEST driver consumes a single time-ordered event stream that
+//! interleaves data-object arrivals with query arrivals. Objects come from a
+//! [`crate::synth::ObjectGenerator`]; queries come from a workload
+//! generator (crate `workloads`). [`merge_by_time`] zips any two timestamped
+//! streams into one ordered stream.
+
+use crate::time::Timestamp;
+use std::iter::Peekable;
+
+/// A timestamped item of any payload type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clocked<T> {
+    pub at: Timestamp,
+    pub item: T,
+}
+
+impl<T> Clocked<T> {
+    pub fn new(at: Timestamp, item: T) -> Self {
+        Clocked { at, item }
+    }
+}
+
+/// Either side of a merged two-source stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Merged<A, B> {
+    Left(A),
+    Right(B),
+}
+
+/// Merges two already time-ordered streams into one ordered stream. Ties go
+/// to the left stream (objects should be inserted before a simultaneous
+/// query observes the window).
+pub fn merge_by_time<A, B, IA, IB>(left: IA, right: IB) -> MergeByTime<A, B, IA, IB>
+where
+    IA: Iterator<Item = Clocked<A>>,
+    IB: Iterator<Item = Clocked<B>>,
+{
+    MergeByTime {
+        left: left.peekable(),
+        right: right.peekable(),
+    }
+}
+
+/// Iterator returned by [`merge_by_time`].
+pub struct MergeByTime<A, B, IA, IB>
+where
+    IA: Iterator<Item = Clocked<A>>,
+    IB: Iterator<Item = Clocked<B>>,
+{
+    left: Peekable<IA>,
+    right: Peekable<IB>,
+}
+
+impl<A, B, IA, IB> Iterator for MergeByTime<A, B, IA, IB>
+where
+    IA: Iterator<Item = Clocked<A>>,
+    IB: Iterator<Item = Clocked<B>>,
+{
+    type Item = Clocked<Merged<A, B>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let take_left = match (self.left.peek(), self.right.peek()) {
+            (Some(l), Some(r)) => l.at <= r.at,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_left {
+            let c = self.left.next().expect("peeked");
+            Some(Clocked::new(c.at, Merged::Left(c.item)))
+        } else {
+            let c = self.right.next().expect("peeked");
+            Some(Clocked::new(c.at, Merged::Right(c.item)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clocked(ts: &[u64]) -> Vec<Clocked<u64>> {
+        ts.iter().map(|&t| Clocked::new(Timestamp(t), t)).collect()
+    }
+
+    #[test]
+    fn merges_in_time_order() {
+        let a = clocked(&[1, 4, 9]);
+        let b = clocked(&[2, 3, 10]);
+        let merged: Vec<u64> = merge_by_time(a.into_iter(), b.into_iter())
+            .map(|c| c.at.0)
+            .collect();
+        assert_eq!(merged, vec![1, 2, 3, 4, 9, 10]);
+    }
+
+    #[test]
+    fn ties_go_left() {
+        let a = clocked(&[5]);
+        let b = clocked(&[5]);
+        let merged: Vec<_> = merge_by_time(a.into_iter(), b.into_iter()).collect();
+        assert!(matches!(merged[0].item, Merged::Left(_)));
+        assert!(matches!(merged[1].item, Merged::Right(_)));
+    }
+
+    #[test]
+    fn handles_exhausted_sides() {
+        let a = clocked(&[1, 2]);
+        let b: Vec<Clocked<u64>> = vec![];
+        let merged: Vec<_> = merge_by_time(a.into_iter(), b.into_iter()).collect();
+        assert_eq!(merged.len(), 2);
+        let a2: Vec<Clocked<u64>> = vec![];
+        let b2 = clocked(&[7]);
+        let merged2: Vec<_> = merge_by_time(a2.into_iter(), b2.into_iter()).collect();
+        assert_eq!(merged2.len(), 1);
+        assert!(matches!(merged2[0].item, Merged::Right(7)));
+    }
+
+    #[test]
+    fn empty_merge_is_empty() {
+        let a: Vec<Clocked<u64>> = vec![];
+        let b: Vec<Clocked<u64>> = vec![];
+        assert_eq!(merge_by_time(a.into_iter(), b.into_iter()).count(), 0);
+    }
+}

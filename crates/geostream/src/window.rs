@@ -1,0 +1,195 @@
+//! The sliding time window `S_T` (§III).
+//!
+//! `S_T` holds every object whose timestamp is within the last `T` time
+//! units. Estimation queries are always answered with respect to the window,
+//! and the exact executor (crate `exactdb`) computes ground truth over it.
+//!
+//! The window is a FIFO of objects ordered by arrival. Streams deliver
+//! objects in non-decreasing timestamp order, so eviction is a pop from the
+//! front. Evicted objects are reported to the caller so downstream
+//! structures (indexes, estimators) can stay consistent.
+
+use crate::object::GeoTextObject;
+use crate::time::{Duration, Timestamp};
+use std::collections::VecDeque;
+
+/// A sliding time window over a geo-textual stream.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    span: Duration,
+    buf: VecDeque<GeoTextObject>,
+    /// Most recent clock value observed, used to validate monotonicity.
+    now: Timestamp,
+}
+
+impl SlidingWindow {
+    /// Creates a window spanning the last `span` time units.
+    pub fn new(span: Duration) -> Self {
+        SlidingWindow {
+            span,
+            buf: VecDeque::new(),
+            now: Timestamp::ZERO,
+        }
+    }
+
+    /// The configured window span `T`.
+    pub fn span(&self) -> Duration {
+        self.span
+    }
+
+    /// The latest time the window has been advanced to.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of live objects in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Inserts an arriving object, advances the clock to its timestamp, and
+    /// appends any objects that fell out of the window to `evicted`.
+    ///
+    /// # Panics
+    /// Panics if `obj.timestamp` is older than the newest object already in
+    /// the window — streams must deliver in non-decreasing time order.
+    pub fn insert(&mut self, obj: GeoTextObject, evicted: &mut Vec<GeoTextObject>) {
+        if let Some(last) = self.buf.back() {
+            assert!(
+                obj.timestamp >= last.timestamp,
+                "out-of-order arrival: {} after {}",
+                obj.timestamp,
+                last.timestamp
+            );
+        }
+        self.now = self.now.max(obj.timestamp);
+        self.buf.push_back(obj);
+        self.evict_expired(evicted);
+    }
+
+    /// Advances the clock without inserting (e.g. when only queries arrive),
+    /// evicting anything that expired.
+    pub fn advance_to(&mut self, t: Timestamp, evicted: &mut Vec<GeoTextObject>) {
+        self.now = self.now.max(t);
+        self.evict_expired(evicted);
+    }
+
+    /// The inclusive lower bound of live timestamps: `NOW - T`.
+    pub fn horizon(&self) -> Timestamp {
+        self.now.before(self.span)
+    }
+
+    fn evict_expired(&mut self, evicted: &mut Vec<GeoTextObject>) {
+        let horizon = self.horizon();
+        while let Some(front) = self.buf.front() {
+            if front.timestamp < horizon {
+                evicted.push(self.buf.pop_front().expect("front checked"));
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Iterates over the live objects, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &GeoTextObject> {
+        self.buf.iter()
+    }
+
+    /// Removes every object and resets the clock to zero.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.now = Timestamp::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::object::ObjectId;
+
+    fn obj(id: u64, t: u64) -> GeoTextObject {
+        GeoTextObject::new(ObjectId(id), Point::new(0.0, 0.0), vec![], Timestamp(t))
+    }
+
+    #[test]
+    fn keeps_objects_within_span() {
+        let mut w = SlidingWindow::new(Duration(100));
+        let mut ev = Vec::new();
+        w.insert(obj(1, 0), &mut ev);
+        w.insert(obj(2, 50), &mut ev);
+        w.insert(obj(3, 100), &mut ev);
+        assert!(ev.is_empty());
+        assert_eq!(w.len(), 3);
+        // t=150 ⇒ horizon=50 ⇒ object at t=0 evicted, t=50 retained.
+        w.insert(obj(4, 150), &mut ev);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].oid, ObjectId(1));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn advance_without_insert_evicts() {
+        let mut w = SlidingWindow::new(Duration(10));
+        let mut ev = Vec::new();
+        w.insert(obj(1, 0), &mut ev);
+        w.insert(obj(2, 5), &mut ev);
+        w.advance_to(Timestamp(20), &mut ev);
+        assert_eq!(ev.len(), 2);
+        assert!(w.is_empty());
+        assert_eq!(w.now(), Timestamp(20));
+    }
+
+    #[test]
+    fn advance_never_rewinds() {
+        let mut w = SlidingWindow::new(Duration(10));
+        let mut ev = Vec::new();
+        w.advance_to(Timestamp(100), &mut ev);
+        w.advance_to(Timestamp(50), &mut ev);
+        assert_eq!(w.now(), Timestamp(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn rejects_out_of_order() {
+        let mut w = SlidingWindow::new(Duration(10));
+        let mut ev = Vec::new();
+        w.insert(obj(1, 100), &mut ev);
+        w.insert(obj(2, 50), &mut ev);
+    }
+
+    #[test]
+    fn iter_is_oldest_first() {
+        let mut w = SlidingWindow::new(Duration(1_000));
+        let mut ev = Vec::new();
+        for i in 0..5 {
+            w.insert(obj(i, i * 10), &mut ev);
+        }
+        let ids: Vec<u64> = w.iter().map(|o| o.oid.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = SlidingWindow::new(Duration(1_000));
+        let mut ev = Vec::new();
+        w.insert(obj(1, 10), &mut ev);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.now(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn horizon_tracks_now() {
+        let mut w = SlidingWindow::new(Duration(100));
+        let mut ev = Vec::new();
+        assert_eq!(w.horizon(), Timestamp::ZERO);
+        w.insert(obj(1, 250), &mut ev);
+        assert_eq!(w.horizon(), Timestamp(150));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests of the stream substrate: generators, distributions,
+//! vocabulary, and event merging.
+
+use geostream::stream::{merge_by_time, Clocked, Merged};
+use geostream::synth::{DatasetSpec, KeywordModel, ZipfKeywords};
+use geostream::{Timestamp, Vocabulary};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn generator_timestamps_never_decrease(seed in 0u64..500, n in 10usize..400) {
+        let mut gen = DatasetSpec::twitter().with_seed(seed).generator();
+        let mut last = Timestamp::ZERO;
+        for _ in 0..n {
+            let o = gen.next_object();
+            prop_assert!(o.timestamp >= last);
+            last = o.timestamp;
+        }
+    }
+
+    #[test]
+    fn generator_objects_stay_in_domain(seed in 0u64..500) {
+        let spec = DatasetSpec::checkin().with_seed(seed);
+        let domain = spec.domain;
+        let mut gen = spec.generator();
+        for _ in 0..200 {
+            let o = gen.next_object();
+            prop_assert!(domain.contains(&o.loc));
+            for kw in o.keywords.iter() {
+                prop_assert!(kw.index() < spec.vocab_size);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_stay_in_range(n in 2usize..500, s in 0.0..2.0f64, seed in 0u64..100) {
+        let z = ZipfKeywords::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample_rank(&mut rng) < n);
+        }
+        prop_assert_eq!(z.vocab_size(), n);
+    }
+
+    #[test]
+    fn keyword_model_count_contract(count in 0usize..8, seed in 0u64..100) {
+        let z = ZipfKeywords::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kws = z.sample_keywords(&mut rng, Timestamp::ZERO, count);
+        prop_assert_eq!(kws.len(), count);
+    }
+
+    #[test]
+    fn vocabulary_intern_resolve_roundtrip(words in proptest::collection::vec("[a-z]{1,10}", 1..50)) {
+        let mut v = Vocabulary::new();
+        let ids: Vec<_> = words.iter().map(|w| v.intern(w)).collect();
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(v.resolve(*id), Some(w.as_str()));
+            prop_assert_eq!(v.get(w), Some(*id));
+        }
+        let distinct: std::collections::HashSet<_> = words.iter().collect();
+        prop_assert_eq!(v.len(), distinct.len());
+    }
+
+    #[test]
+    fn merge_by_time_is_sorted_and_complete(
+        a in proptest::collection::vec(0u64..1_000, 0..50),
+        b in proptest::collection::vec(0u64..1_000, 0..50),
+    ) {
+        let mut a = a; a.sort_unstable();
+        let mut b = b; b.sort_unstable();
+        let left: Vec<Clocked<u64>> =
+            a.iter().map(|&t| Clocked::new(Timestamp(t), t)).collect();
+        let right: Vec<Clocked<u64>> =
+            b.iter().map(|&t| Clocked::new(Timestamp(t), t)).collect();
+        let merged: Vec<_> = merge_by_time(left.into_iter(), right.into_iter()).collect();
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        // Non-decreasing output times.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // Every input appears exactly once per side.
+        let lefts = merged.iter().filter(|c| matches!(c.item, Merged::Left(_))).count();
+        prop_assert_eq!(lefts, a.len());
+    }
+
+    #[test]
+    fn same_seed_same_stream(seed in 0u64..200) {
+        let mut g1 = DatasetSpec::ebird().with_seed(seed).generator();
+        let mut g2 = DatasetSpec::ebird().with_seed(seed).generator();
+        for _ in 0..50 {
+            prop_assert_eq!(g1.next_object(), g2.next_object());
+        }
+    }
+}

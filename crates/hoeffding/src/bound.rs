@@ -1,0 +1,66 @@
+//! The Hoeffding bound.
+
+/// Computes the Hoeffding bound
+/// `ε = sqrt(R² · ln(1/δ) / (2n))`
+/// for a real-valued random variable with range `r`, confidence `1 − δ`,
+/// and `n` independent observations.
+///
+/// After `n` observations, the true mean of the variable differs from the
+/// observed mean by at most `ε` with probability `1 − δ`. VFDT uses this to
+/// decide when the best split's information gain is reliably ahead of the
+/// runner-up's: if `G(best) − G(second) > ε`, splitting on `best` is the
+/// same decision a batch learner would make with probability `1 − δ`.
+///
+/// # Panics
+/// Panics if `n == 0` or `delta` is outside `(0, 1)`.
+pub fn hoeffding_bound(r: f64, delta: f64, n: u64) -> f64 {
+    assert!(n > 0, "Hoeffding bound needs at least one observation");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0, 1), got {delta}"
+    );
+    ((r * r * (1.0 / delta).ln()) / (2.0 * n as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_with_more_observations() {
+        let e1 = hoeffding_bound(1.0, 1e-7, 100);
+        let e2 = hoeffding_bound(1.0, 1e-7, 10_000);
+        assert!(e2 < e1);
+        // ε scales with 1/sqrt(n): 100x observations → 10x smaller bound.
+        assert!((e1 / e2 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grows_with_range() {
+        assert!(hoeffding_bound(2.0, 0.05, 50) > hoeffding_bound(1.0, 0.05, 50));
+    }
+
+    #[test]
+    fn tighter_delta_means_larger_bound() {
+        assert!(hoeffding_bound(1.0, 1e-9, 50) > hoeffding_bound(1.0, 0.1, 50));
+    }
+
+    #[test]
+    fn known_value() {
+        // R=1, delta=e^-2 ⇒ ln(1/δ)=2 ⇒ ε = sqrt(2/(2n)) = 1/sqrt(n).
+        let e = hoeffding_bound(1.0, (-2.0f64).exp(), 25);
+        assert!((e - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn zero_observations_panics() {
+        let _ = hoeffding_bound(1.0, 0.05, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn bad_delta_panics() {
+        let _ = hoeffding_bound(1.0, 1.5, 10);
+    }
+}

@@ -1,0 +1,871 @@
+//! The Hoeffding tree (VFDT) classifier.
+
+use crate::attribute::{AttributeSpec, Instance, Schema, Value};
+use crate::bound::hoeffding_bound;
+use crate::stats::{partition_entropy, ClassCounts, GaussianEstimator};
+use serde::{Deserialize, Serialize};
+
+/// How a leaf turns its statistics into a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeafPrediction {
+    /// Predict the most frequent class at the leaf (the paper's WEKA
+    /// configuration).
+    MajorityClass,
+    /// Naive-Bayes prediction from the leaf's attribute observers; often
+    /// more accurate with few observations per leaf.
+    NaiveBayes,
+    /// Per-leaf adaptive choice: each leaf prequentially scores both
+    /// strategies on its own stream and predicts with whichever has been
+    /// more accurate there (the classic VFDT-NBAdaptive variant).
+    NBAdaptive,
+}
+
+/// Tuning knobs of the tree. The defaults mirror the classic VFDT / MOA
+/// settings and the paper's WEKA defaults.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HoeffdingTreeConfig {
+    /// Re-evaluate candidate splits at a leaf only every `grace_period`
+    /// observations (split evaluation is the expensive step).
+    pub grace_period: u64,
+    /// `δ` of the Hoeffding bound: probability of choosing a wrong split.
+    pub split_confidence: f64,
+    /// If the bound `ε` drops below this value, the top two splits are
+    /// considered tied and the best one is taken.
+    pub tie_threshold: f64,
+    /// Leaf prediction strategy.
+    pub leaf_prediction: LeafPrediction,
+    /// Candidate thresholds evaluated per numeric attribute.
+    pub num_split_points: usize,
+    /// Hard depth cap (safety valve; `usize::MAX` disables).
+    pub max_depth: usize,
+}
+
+impl Default for HoeffdingTreeConfig {
+    fn default() -> Self {
+        HoeffdingTreeConfig {
+            grace_period: 200,
+            split_confidence: 1e-7,
+            tie_threshold: 0.05,
+            leaf_prediction: LeafPrediction::MajorityClass,
+            num_split_points: 10,
+            max_depth: usize::MAX,
+        }
+    }
+}
+
+/// Aggregate shape statistics of a tree, for monitoring and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeStats {
+    pub nodes: usize,
+    pub leaves: usize,
+    pub splits: usize,
+    pub depth: usize,
+    pub instances_seen: u64,
+}
+
+type NodeId = usize;
+
+/// Index of the largest weight, ties to the lowest index; `None` when all
+/// weights are zero.
+fn argmax(weights: &[f64]) -> Option<u32> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    weights
+        .iter()
+        .enumerate()
+        .max_by(|(ai, a), (bi, b)| a.partial_cmp(b).expect("finite").then(bi.cmp(ai)))
+        .map(|(i, _)| i as u32)
+}
+
+/// Per-attribute sufficient statistics at a leaf.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Observer {
+    /// `value → class counts` table.
+    Categorical(Vec<ClassCounts>),
+    /// One Gaussian per class.
+    Numeric(Vec<GaussianEstimator>),
+}
+
+impl Observer {
+    fn for_attr(spec: &AttributeSpec, num_classes: u32) -> Observer {
+        match spec {
+            AttributeSpec::Categorical { arity, .. } => Observer::Categorical(
+                (0..*arity).map(|_| ClassCounts::new(num_classes)).collect(),
+            ),
+            AttributeSpec::Numeric { .. } => Observer::Numeric(
+                (0..num_classes).map(|_| GaussianEstimator::new()).collect(),
+            ),
+        }
+    }
+
+    fn observe(&mut self, value: Value, class: u32, weight: f64) {
+        match (self, value) {
+            (Observer::Categorical(table), Value::Cat(v)) => {
+                table[v as usize].add(class, weight);
+            }
+            (Observer::Numeric(gaussians), Value::Num(x)) => {
+                gaussians[class as usize].add(x, weight);
+            }
+            _ => unreachable!("observer/value kind mismatch is caught by schema validation"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LeafNode {
+    counts: ClassCounts,
+    observers: Vec<Observer>,
+    weight_at_last_eval: f64,
+    depth: usize,
+    /// Prequential correct-prediction counts for the NBAdaptive strategy.
+    mc_correct: f64,
+    nb_correct: f64,
+}
+
+impl LeafNode {
+    fn new(schema: &Schema, depth: usize, seed_counts: Option<ClassCounts>) -> Self {
+        let counts = seed_counts.unwrap_or_else(|| ClassCounts::new(schema.num_classes()));
+        LeafNode {
+            weight_at_last_eval: counts.total(),
+            counts,
+            observers: schema
+                .attributes()
+                .iter()
+                .map(|a| Observer::for_attr(a, schema.num_classes()))
+                .collect(),
+            depth,
+            mc_correct: 0.0,
+            nb_correct: 0.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf(LeafNode),
+    /// Multiway split on a categorical attribute: `children[v]` handles
+    /// value `v`.
+    CatSplit { attr: usize, children: Vec<NodeId> },
+    /// Binary split on a numeric attribute: left takes `value <= threshold`.
+    NumSplit {
+        attr: usize,
+        threshold: f64,
+        left: NodeId,
+        right: NodeId,
+    },
+}
+
+/// A candidate split found at evaluation time.
+struct Candidate {
+    gain: f64,
+    attr: usize,
+    /// `None` for categorical multiway, `Some(threshold)` for numeric.
+    threshold: Option<f64>,
+    /// Class-count seeds for the children, in child order.
+    child_counts: Vec<ClassCounts>,
+}
+
+/// An incrementally trained Hoeffding tree classifier.
+///
+/// ```
+/// use hoeffding::{AttributeSpec, HoeffdingTree, HoeffdingTreeConfig, Schema, Value};
+///
+/// let schema = Schema::new(
+///     vec![AttributeSpec::categorical("type", 3), AttributeSpec::numeric("latency")],
+///     2,
+/// );
+/// let mut tree = HoeffdingTree::new(schema, HoeffdingTreeConfig::default());
+/// // class 1 whenever type == 2:
+/// for i in 0..3_000u32 {
+///     let ty = i % 3;
+///     tree.train(&vec![Value::Cat(ty), Value::Num(f64::from(i % 7))], u32::from(ty == 2));
+/// }
+/// assert_eq!(tree.predict(&vec![Value::Cat(2), Value::Num(3.0)]), 1);
+/// assert_eq!(tree.predict(&vec![Value::Cat(0), Value::Num(3.0)]), 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HoeffdingTree {
+    schema: Schema,
+    config: HoeffdingTreeConfig,
+    nodes: Vec<Node>,
+    root: NodeId,
+    instances_seen: u64,
+    splits_performed: usize,
+}
+
+impl HoeffdingTree {
+    /// Creates an empty tree (a single leaf) over `schema`.
+    pub fn new(schema: Schema, config: HoeffdingTreeConfig) -> Self {
+        assert!(config.grace_period > 0, "grace period must be positive");
+        assert!(
+            config.num_split_points > 0,
+            "need at least one numeric split point"
+        );
+        let root_leaf = LeafNode::new(&schema, 0, None);
+        HoeffdingTree {
+            schema,
+            config,
+            nodes: vec![Node::Leaf(root_leaf)],
+            root: 0,
+            instances_seen: 0,
+            splits_performed: 0,
+        }
+    }
+
+    /// The schema the tree was built over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Trains on one `(instance, class)` record. `O(depth)` plus an
+    /// amortized split evaluation every `grace_period` records per leaf.
+    ///
+    /// # Panics
+    /// Panics if the instance does not conform to the schema or `class` is
+    /// out of range.
+    pub fn train(&mut self, instance: &Instance, class: u32) {
+        self.schema
+            .validate(instance)
+            .unwrap_or_else(|e| panic!("invalid instance: {e}"));
+        assert!(
+            class < self.schema.num_classes(),
+            "class {class} out of range 0..{}",
+            self.schema.num_classes()
+        );
+        self.instances_seen += 1;
+        let leaf_id = self.sort_to_leaf(instance);
+        let grace = self.config.grace_period as f64;
+        if self.config.leaf_prediction == LeafPrediction::NBAdaptive {
+            // Prequential evaluation: score both strategies on this
+            // instance *before* training on it.
+            let (mc_hit, nb_hit) = {
+                let Node::Leaf(leaf) = &self.nodes[leaf_id] else {
+                    unreachable!("sorted to a leaf")
+                };
+                let mc = leaf.counts.majority();
+                let nb_weights = self.naive_bayes_weights(leaf, instance);
+                let nb = argmax(&nb_weights);
+                (mc == Some(class), nb == Some(class))
+            };
+            let leaf = self.leaf_mut(leaf_id);
+            if mc_hit {
+                leaf.mc_correct += 1.0;
+            }
+            if nb_hit {
+                leaf.nb_correct += 1.0;
+            }
+        }
+        let (should_eval, depth) = {
+            let leaf = self.leaf_mut(leaf_id);
+            leaf.counts.add(class, 1.0);
+            for (obs, &v) in leaf.observers.iter_mut().zip(instance.iter()) {
+                obs.observe(v, class, 1.0);
+            }
+            let seen_since = leaf.counts.total() - leaf.weight_at_last_eval;
+            (
+                seen_since >= grace && leaf.counts.distinct() > 1,
+                leaf.depth,
+            )
+        };
+        if should_eval && depth < self.config.max_depth {
+            self.try_split(leaf_id);
+        }
+    }
+
+    /// Predicts the class of `instance`.
+    pub fn predict(&self, instance: &Instance) -> u32 {
+        self.predict_weights(instance)
+            .into_iter()
+            .enumerate()
+            .max_by(|(ai, a), (bi, b)| a.partial_cmp(b).expect("finite").then(bi.cmp(ai)))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// Per-class scores for `instance` (not normalized). Majority-class
+    /// leaves return raw class counts; naive-Bayes leaves return
+    /// likelihood-weighted counts.
+    pub fn predict_weights(&self, instance: &Instance) -> Vec<f64> {
+        self.schema
+            .validate(instance)
+            .unwrap_or_else(|e| panic!("invalid instance: {e}"));
+        let leaf_id = self.sort_to_leaf_ref(instance);
+        let Node::Leaf(leaf) = &self.nodes[leaf_id] else {
+            unreachable!("sort_to_leaf_ref returns a leaf")
+        };
+        match self.config.leaf_prediction {
+            LeafPrediction::MajorityClass => leaf.counts.iter().collect(),
+            LeafPrediction::NaiveBayes => self.naive_bayes_weights(leaf, instance),
+            LeafPrediction::NBAdaptive => {
+                if leaf.nb_correct > leaf.mc_correct {
+                    self.naive_bayes_weights(leaf, instance)
+                } else {
+                    leaf.counts.iter().collect()
+                }
+            }
+        }
+    }
+
+    fn naive_bayes_weights(&self, leaf: &LeafNode, instance: &Instance) -> Vec<f64> {
+        let total = leaf.counts.total();
+        if total <= 0.0 {
+            return leaf.counts.iter().collect();
+        }
+        (0..self.schema.num_classes())
+            .map(|c| {
+                let prior = (leaf.counts.get(c) + 1.0) / (total + self.schema.num_classes() as f64);
+                let mut w = prior;
+                for (obs, &v) in leaf.observers.iter().zip(instance.iter()) {
+                    w *= match (obs, v) {
+                        (Observer::Categorical(table), Value::Cat(val)) => {
+                            let class_total: f64 =
+                                table.iter().map(|cc| cc.get(c)).sum();
+                            (table[val as usize].get(c) + 1.0)
+                                / (class_total + table.len() as f64)
+                        }
+                        (Observer::Numeric(gs), Value::Num(x)) => {
+                            let g = &gs[c as usize];
+                            if g.weight() > 0.0 {
+                                g.pdf(x).max(1e-12)
+                            } else {
+                                1e-12
+                            }
+                        }
+                        _ => unreachable!("schema validated"),
+                    };
+                }
+                w
+            })
+            .collect()
+    }
+
+    /// Shape statistics of the tree.
+    pub fn stats(&self) -> TreeStats {
+        let mut leaves = 0;
+        let mut depth = 0;
+        for node in &self.nodes {
+            if let Node::Leaf(l) = node {
+                leaves += 1;
+                depth = depth.max(l.depth);
+            }
+        }
+        TreeStats {
+            nodes: self.nodes.len(),
+            leaves,
+            splits: self.splits_performed,
+            depth,
+            instances_seen: self.instances_seen,
+        }
+    }
+
+    /// Discards all learned structure, keeping schema and configuration.
+    /// LATEST uses this for the manual retraining trigger (§V-D).
+    pub fn reset(&mut self) {
+        let root_leaf = LeafNode::new(&self.schema, 0, None);
+        self.nodes = vec![Node::Leaf(root_leaf)];
+        self.root = 0;
+        self.instances_seen = 0;
+        self.splits_performed = 0;
+    }
+
+    /// Number of training records seen since construction or [`reset`].
+    ///
+    /// [`reset`]: HoeffdingTree::reset
+    pub fn instances_seen(&self) -> u64 {
+        self.instances_seen
+    }
+
+    /// Renders the tree as an indented, human-readable outline — split
+    /// tests on internal nodes, class counts on leaves. Intended for
+    /// debugging and operator dashboards, not for parsing.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        self.describe_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn describe_node(&self, id: NodeId, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match &self.nodes[id] {
+            Node::Leaf(leaf) => {
+                let counts: Vec<String> =
+                    leaf.counts.iter().map(|c| format!("{c:.0}")).collect();
+                out.push_str(&format!(
+                    "{pad}leaf depth={} majority={:?} counts=[{}]\n",
+                    leaf.depth,
+                    leaf.counts.majority(),
+                    counts.join(", ")
+                ));
+            }
+            Node::CatSplit { attr, children } => {
+                let name = self.schema.attributes()[*attr].name();
+                out.push_str(&format!("{pad}split on {name} (categorical)\n"));
+                for (v, &child) in children.iter().enumerate() {
+                    out.push_str(&format!("{pad}  = {v}:\n"));
+                    self.describe_node(child, indent + 2, out);
+                }
+            }
+            Node::NumSplit {
+                attr,
+                threshold,
+                left,
+                right,
+            } => {
+                let name = self.schema.attributes()[*attr].name();
+                out.push_str(&format!("{pad}split on {name} <= {threshold:.4}\n"));
+                self.describe_node(*left, indent + 1, out);
+                out.push_str(&format!("{pad}else ({name} > {threshold:.4})\n"));
+                self.describe_node(*right, indent + 1, out);
+            }
+        }
+    }
+
+    fn leaf_mut(&mut self, id: NodeId) -> &mut LeafNode {
+        match &mut self.nodes[id] {
+            Node::Leaf(l) => l,
+            _ => unreachable!("expected leaf"),
+        }
+    }
+
+    fn sort_to_leaf(&self, instance: &Instance) -> NodeId {
+        self.sort_to_leaf_ref(instance)
+    }
+
+    fn sort_to_leaf_ref(&self, instance: &Instance) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf(_) => return id,
+                Node::CatSplit { attr, children } => {
+                    let v = instance[*attr].as_cat() as usize;
+                    id = children[v];
+                }
+                Node::NumSplit {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if instance[*attr].as_num() <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Evaluates candidate splits at `leaf_id` and splits if the Hoeffding
+    /// bound allows.
+    fn try_split(&mut self, leaf_id: NodeId) {
+        let (pre_entropy, total, depth, candidates) = {
+            let Node::Leaf(leaf) = &self.nodes[leaf_id] else {
+                unreachable!()
+            };
+            let mut cands: Vec<Candidate> = Vec::with_capacity(self.schema.num_attributes());
+            let pre = leaf.counts.entropy();
+            for (attr, obs) in leaf.observers.iter().enumerate() {
+                if let Some(c) = self.best_split_for(attr, obs, pre) {
+                    cands.push(c);
+                }
+            }
+            (pre, leaf.counts.total(), leaf.depth, cands)
+        };
+        // Mark evaluation time regardless of outcome so we wait another
+        // grace period before re-evaluating.
+        self.leaf_mut(leaf_id).weight_at_last_eval = total;
+
+        if candidates.is_empty() || total <= 0.0 {
+            return;
+        }
+        let mut sorted = candidates;
+        sorted.sort_by(|a, b| b.gain.partial_cmp(&a.gain).expect("gains are finite"));
+        let best_gain = sorted[0].gain;
+        let second_gain = if sorted.len() > 1 { sorted[1].gain } else { 0.0 };
+        // Range of information gain is log2(num_classes).
+        let range = f64::from(self.schema.num_classes()).log2();
+        let eps = hoeffding_bound(range, self.config.split_confidence, total as u64);
+        let decided = best_gain - second_gain > eps || eps < self.config.tie_threshold;
+        // A split must beat the no-split option (gain 0) by the same margin.
+        if !decided || best_gain <= eps.min(pre_entropy) || best_gain <= 0.0 {
+            return;
+        }
+        let winner = sorted.remove(0);
+        self.apply_split(leaf_id, winner, depth);
+    }
+
+    fn best_split_for(&self, attr: usize, obs: &Observer, pre_entropy: f64) -> Option<Candidate> {
+        match obs {
+            Observer::Categorical(table) => {
+                let gain = pre_entropy - partition_entropy(table);
+                if !gain.is_finite() {
+                    return None;
+                }
+                Some(Candidate {
+                    gain,
+                    attr,
+                    threshold: None,
+                    child_counts: table.clone(),
+                })
+            }
+            Observer::Numeric(gaussians) => {
+                let lo = gaussians
+                    .iter()
+                    .filter_map(GaussianEstimator::min)
+                    .fold(f64::INFINITY, f64::min);
+                let hi = gaussians
+                    .iter()
+                    .filter_map(GaussianEstimator::max)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+                    return None;
+                }
+                let k = self.config.num_split_points;
+                let mut best: Option<Candidate> = None;
+                for i in 1..=k {
+                    let t = lo + (hi - lo) * i as f64 / (k + 1) as f64;
+                    let mut left = ClassCounts::new(self.schema.num_classes());
+                    let mut right = ClassCounts::new(self.schema.num_classes());
+                    for (class, g) in gaussians.iter().enumerate() {
+                        let below = g.weight_below(t);
+                        left.add(class as u32, below);
+                        right.add(class as u32, (g.weight() - below).max(0.0));
+                    }
+                    if left.total() <= 0.0 || right.total() <= 0.0 {
+                        continue;
+                    }
+                    let gain = pre_entropy - partition_entropy(&[left.clone(), right.clone()]);
+                    if gain.is_finite()
+                        && best.as_ref().is_none_or(|b| gain > b.gain)
+                    {
+                        best = Some(Candidate {
+                            gain,
+                            attr,
+                            threshold: Some(t),
+                            child_counts: vec![left, right],
+                        });
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    fn apply_split(&mut self, leaf_id: NodeId, cand: Candidate, depth: usize) {
+        let children: Vec<NodeId> = cand
+            .child_counts
+            .into_iter()
+            .map(|seed| {
+                let id = self.nodes.len();
+                self.nodes
+                    .push(Node::Leaf(LeafNode::new(&self.schema, depth + 1, Some(seed))));
+                id
+            })
+            .collect();
+        self.nodes[leaf_id] = match cand.threshold {
+            None => Node::CatSplit {
+                attr: cand.attr,
+                children,
+            },
+            Some(t) => Node::NumSplit {
+                attr: cand.attr,
+                threshold: t,
+                left: children[0],
+                right: children[1],
+            },
+        };
+        self.splits_performed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat_schema() -> Schema {
+        Schema::new(
+            vec![
+                AttributeSpec::categorical("a", 4),
+                AttributeSpec::categorical("noise", 3),
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn empty_tree_predicts_class_zero() {
+        let tree = HoeffdingTree::new(cat_schema(), HoeffdingTreeConfig::default());
+        assert_eq!(tree.predict(&vec![Value::Cat(0), Value::Cat(0)]), 0);
+        assert_eq!(tree.stats().leaves, 1);
+        assert_eq!(tree.stats().splits, 0);
+    }
+
+    #[test]
+    fn learns_categorical_concept() {
+        // class = (a == 1), noise attribute irrelevant.
+        let mut tree = HoeffdingTree::new(cat_schema(), HoeffdingTreeConfig::default());
+        let mut x = 0u32;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let a = (x >> 8) % 4;
+            let noise = (x >> 16) % 3;
+            tree.train(&vec![Value::Cat(a), Value::Cat(noise)], u32::from(a == 1));
+        }
+        assert!(tree.stats().splits >= 1, "tree never split");
+        for a in 0..4 {
+            for noise in 0..3 {
+                let p = tree.predict(&vec![Value::Cat(a), Value::Cat(noise)]);
+                assert_eq!(p, u32::from(a == 1), "a={a} noise={noise}");
+            }
+        }
+    }
+
+    #[test]
+    fn learns_numeric_threshold() {
+        let schema = Schema::new(vec![AttributeSpec::numeric("x")], 2);
+        let mut tree = HoeffdingTree::new(schema, HoeffdingTreeConfig::default());
+        let mut x = 1u32;
+        for _ in 0..8_000 {
+            x = x.wrapping_mul(22_695_477).wrapping_add(1);
+            let v = f64::from(x >> 16) / f64::from(u16::MAX); // [0,1]
+            tree.train(&vec![Value::Num(v)], u32::from(v > 0.5));
+        }
+        assert!(tree.stats().splits >= 1);
+        assert_eq!(tree.predict(&vec![Value::Num(0.1)]), 0);
+        assert_eq!(tree.predict(&vec![Value::Num(0.9)]), 1);
+    }
+
+    #[test]
+    fn learns_conjunction_with_depth() {
+        // class = (a == 0 AND x > 0.5): needs a two-level tree.
+        let schema = Schema::new(
+            vec![AttributeSpec::categorical("a", 2), AttributeSpec::numeric("x")],
+            2,
+        );
+        let mut tree = HoeffdingTree::new(schema, HoeffdingTreeConfig::default());
+        let mut s = 7u32;
+        for _ in 0..30_000 {
+            s = s.wrapping_mul(134_775_813).wrapping_add(1);
+            let a = (s >> 7) % 2;
+            let x = f64::from(s >> 16) / f64::from(u16::MAX);
+            let label = u32::from(a == 0 && x > 0.5);
+            tree.train(&vec![Value::Cat(a), Value::Num(x)], label);
+        }
+        let acc = {
+            let mut correct = 0;
+            let mut total = 0;
+            for a in 0..2 {
+                for xi in 0..20 {
+                    let x = (xi as f64 + 0.5) / 20.0;
+                    let want = u32::from(a == 0 && x > 0.5);
+                    if tree.predict(&vec![Value::Cat(a), Value::Num(x)]) == want {
+                        correct += 1;
+                    }
+                    total += 1;
+                }
+            }
+            correct as f64 / total as f64
+        };
+        assert!(acc > 0.9, "accuracy too low: {acc}");
+        assert!(tree.stats().depth >= 1);
+    }
+
+    #[test]
+    fn naive_bayes_leaves_work_with_few_samples() {
+        let schema = Schema::new(vec![AttributeSpec::numeric("x")], 2);
+        let config = HoeffdingTreeConfig {
+            leaf_prediction: LeafPrediction::NaiveBayes,
+            ..HoeffdingTreeConfig::default()
+        };
+        let mut tree = HoeffdingTree::new(schema, config);
+        // 30 samples: class 0 around 0, class 1 around 10 — far below the
+        // grace period, so the tree is a single NB leaf.
+        for i in 0..15 {
+            tree.train(&vec![Value::Num(i as f64 * 0.1)], 0);
+            tree.train(&vec![Value::Num(10.0 + i as f64 * 0.1)], 1);
+        }
+        assert_eq!(tree.stats().splits, 0);
+        assert_eq!(tree.predict(&vec![Value::Num(0.5)]), 0);
+        assert_eq!(tree.predict(&vec![Value::Num(10.5)]), 1);
+    }
+
+    #[test]
+    fn nb_adaptive_tracks_the_better_strategy() {
+        // Numeric Gaussian concept where NB shines with few samples per
+        // leaf; NBAdaptive must match or beat plain majority class.
+        let schema = Schema::new(vec![AttributeSpec::numeric("x")], 2);
+        let adaptive = HoeffdingTreeConfig {
+            leaf_prediction: LeafPrediction::NBAdaptive,
+            ..HoeffdingTreeConfig::default()
+        };
+        let mut tree = HoeffdingTree::new(schema, adaptive);
+        for i in 0..60 {
+            tree.train(&vec![Value::Num(i as f64 * 0.1)], 0);
+            tree.train(&vec![Value::Num(20.0 + i as f64 * 0.1)], 1);
+        }
+        // Far below the grace period: a single leaf, NB counters decide.
+        assert_eq!(tree.predict(&vec![Value::Num(1.0)]), 0);
+        assert_eq!(tree.predict(&vec![Value::Num(21.0)]), 1);
+    }
+
+    #[test]
+    fn nb_adaptive_falls_back_to_majority_when_nb_flounders() {
+        // A class-balanced coin-flip target: NB cannot beat majority, and
+        // the adaptive leaf should not crash or degrade below majority.
+        let schema = Schema::new(vec![AttributeSpec::categorical("c", 2)], 2);
+        let mut tree = HoeffdingTree::new(
+            schema,
+            HoeffdingTreeConfig {
+                leaf_prediction: LeafPrediction::NBAdaptive,
+                grace_period: 1_000_000, // never split
+                ..HoeffdingTreeConfig::default()
+            },
+        );
+        let mut s = 5u32;
+        for _ in 0..2_000 {
+            s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            // Label mostly 1 regardless of the attribute.
+            let label = u32::from(!s.is_multiple_of(10));
+            tree.train(&vec![Value::Cat(s % 2)], label);
+        }
+        assert_eq!(tree.predict(&vec![Value::Cat(0)]), 1);
+        assert_eq!(tree.predict(&vec![Value::Cat(1)]), 1);
+    }
+
+    #[test]
+    fn pure_stream_never_splits() {
+        let mut tree = HoeffdingTree::new(cat_schema(), HoeffdingTreeConfig::default());
+        for i in 0..2_000u32 {
+            tree.train(&vec![Value::Cat(i % 4), Value::Cat(i % 3)], 0);
+        }
+        assert_eq!(tree.stats().splits, 0, "pure stream must not split");
+        assert_eq!(tree.predict(&vec![Value::Cat(0), Value::Cat(0)]), 0);
+    }
+
+    #[test]
+    fn reset_clears_structure() {
+        let mut tree = HoeffdingTree::new(cat_schema(), HoeffdingTreeConfig::default());
+        for i in 0..3_000u32 {
+            tree.train(
+                &vec![Value::Cat(i % 4), Value::Cat(i % 3)],
+                u32::from(i % 4 == 2),
+            );
+        }
+        assert!(tree.stats().splits > 0);
+        tree.reset();
+        let s = tree.stats();
+        assert_eq!((s.nodes, s.splits, s.instances_seen), (1, 0, 0));
+    }
+
+    #[test]
+    fn max_depth_caps_growth() {
+        let schema = Schema::new(
+            vec![AttributeSpec::numeric("x"), AttributeSpec::numeric("y")],
+            2,
+        );
+        let config = HoeffdingTreeConfig {
+            max_depth: 1,
+            ..HoeffdingTreeConfig::default()
+        };
+        let mut tree = HoeffdingTree::new(schema, config);
+        let mut s = 3u32;
+        for _ in 0..20_000 {
+            s = s.wrapping_mul(134_775_813).wrapping_add(97);
+            let x = f64::from(s >> 16) / f64::from(u16::MAX);
+            let y = f64::from((s >> 4) & 0xFFF) / 4096.0;
+            // XOR-ish concept would love depth 2+.
+            let label = u32::from((x > 0.5) ^ (y > 0.5));
+            tree.train(&vec![Value::Num(x), Value::Num(y)], label);
+        }
+        assert!(tree.stats().depth <= 1, "depth cap violated");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid instance")]
+    fn train_rejects_bad_instance() {
+        let mut tree = HoeffdingTree::new(cat_schema(), HoeffdingTreeConfig::default());
+        tree.train(&vec![Value::Num(0.0), Value::Cat(0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn train_rejects_bad_class() {
+        let mut tree = HoeffdingTree::new(cat_schema(), HoeffdingTreeConfig::default());
+        tree.train(&vec![Value::Cat(0), Value::Cat(0)], 9);
+    }
+
+    #[test]
+    fn describe_renders_structure() {
+        let mut tree = HoeffdingTree::new(cat_schema(), HoeffdingTreeConfig::default());
+        // Untrained: a single leaf.
+        let empty = tree.describe();
+        assert!(empty.contains("leaf depth=0"));
+        let mut x = 0u32;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let a = (x >> 8) % 4;
+            tree.train(&vec![Value::Cat(a), Value::Cat((x >> 16) % 3)], u32::from(a == 1));
+        }
+        let text = tree.describe();
+        assert!(text.contains("split on a (categorical)"), "{text}");
+        assert!(text.matches("leaf").count() >= 4, "{text}");
+    }
+
+    #[test]
+    fn instances_seen_counts() {
+        let mut tree = HoeffdingTree::new(cat_schema(), HoeffdingTreeConfig::default());
+        for i in 0..10u32 {
+            tree.train(&vec![Value::Cat(i % 4), Value::Cat(0)], 0);
+        }
+        assert_eq!(tree.instances_seen(), 10);
+        assert_eq!(tree.stats().instances_seen, 10);
+    }
+
+    #[test]
+    fn accuracy_improves_with_training() {
+        // The §V-D claim in miniature: model accuracy rises as records stream in.
+        let schema = Schema::new(
+            vec![AttributeSpec::categorical("a", 3), AttributeSpec::numeric("x")],
+            3,
+        );
+        let mut tree = HoeffdingTree::new(schema, HoeffdingTreeConfig::default());
+        let mut s = 11u32;
+        let mut gen = move || {
+            s = s.wrapping_mul(747_796_405).wrapping_add(2_891_336_453);
+            let a = (s >> 9) % 3;
+            let x = f64::from(s >> 16) / f64::from(u16::MAX);
+            let label = if a == 0 {
+                0
+            } else if x > 0.6 {
+                1
+            } else {
+                2
+            };
+            (vec![Value::Cat(a), Value::Num(x)], label)
+        };
+        let eval = |tree: &HoeffdingTree, gen: &mut dyn FnMut() -> (Instance, u32)| {
+            let mut ok = 0;
+            for _ in 0..500 {
+                let (inst, label) = gen();
+                if tree.predict(&inst) == label {
+                    ok += 1;
+                }
+            }
+            ok as f64 / 500.0
+        };
+        let early = eval(&tree, &mut gen);
+        for _ in 0..20_000 {
+            let (inst, label) = gen();
+            tree.train(&inst, label);
+        }
+        let late = eval(&tree, &mut gen);
+        assert!(
+            late > early + 0.2,
+            "no learning progress: early={early} late={late}"
+        );
+        assert!(late > 0.9, "final accuracy too low: {late}");
+    }
+}

@@ -1,0 +1,348 @@
+//! # workloads — the paper's query workloads (§VI-A)
+//!
+//! Generators for the Twitter (`TwQW1`–`TwQW6`), eBird (`EbRQW1`), and
+//! CheckIn (`CiQW1`) query workloads: deterministic streams of
+//! [`RcDvq`](geostream::RcDvq) queries with controlled compositions of
+//! pure-spatial, pure-keyword, and hybrid queries that can *change over
+//! the workload's lifetime* — the dynamism LATEST is built to absorb.
+//!
+//! Query locations are sampled from the same hotspot mixture that
+//! generates the data (standing in for the paper's Bing mobile-search
+//! locations, which correlate with population density), and query keywords
+//! are Zipf-drawn from the dataset vocabulary (the paper picks them
+//! "randomly from evaluation data", which reproduces the data's skew).
+
+mod spec;
+
+pub use spec::{Mix, WorkloadGenerator, WorkloadSpec};
+
+use geostream::synth::DatasetSpec;
+
+/// The Twitter workloads TwQW1–TwQW6 (the paper describes six of its nine;
+/// we reproduce the six it evaluates).
+///
+/// # Panics
+/// Panics for numbers outside `1..=6`.
+pub fn twqw(n: u8) -> WorkloadSpec {
+    let base = DatasetSpec::twitter();
+    match n {
+        // One-third each, with the dominant type rotating in blocks —
+        // "types of queries are heavily changing over time" (§VI-B).
+        1 => WorkloadSpec::new("TwQW1", base, 100_000)
+            .with_blocks(vec![
+                Mix::spatial_only(),
+                Mix::keyword_only(),
+                Mix::hybrid_only(),
+                Mix::spatial_only(),
+                Mix::keyword_only(),
+                Mix::hybrid_only(),
+            ])
+            .with_keyword_counts(1, 3),
+        // 100% pure spatial.
+        2 => WorkloadSpec::new("TwQW2", base, 100_000).with_blocks(vec![Mix::spatial_only()]),
+        // 50% pure spatial / 50% hybrid.
+        3 => WorkloadSpec::new("TwQW3", base, 100_000)
+            .with_blocks(vec![Mix::new(0.5, 0.0, 0.5)])
+            .with_keyword_counts(1, 2),
+        // 100% single-keyword queries.
+        4 => WorkloadSpec::new("TwQW4", base, 100_000)
+            .with_blocks(vec![Mix::keyword_only()])
+            .with_keyword_counts(1, 1),
+        // 100% multi-keyword queries.
+        5 => WorkloadSpec::new("TwQW5", base, 100_000)
+            .with_blocks(vec![Mix::keyword_only()])
+            .with_keyword_counts(2, 5),
+        // Same thirds as TwQW1 in a different block order (§VI-B, Fig. 4).
+        6 => WorkloadSpec::new("TwQW6", base, 100_000)
+            .with_blocks(vec![
+                Mix::keyword_only(),
+                Mix::spatial_only(),
+                Mix::keyword_only(),
+                Mix::hybrid_only(),
+            ])
+            .with_keyword_counts(1, 3),
+        _ => panic!("TwQW{n} is not one of the evaluated workloads (1..=6)"),
+    }
+}
+
+/// The six eBird request workloads (§VI-A: 40K real dataset-search
+/// requests combined with sampled keywords into "six workloads of
+/// different query type distributions"). The paper's figures use EbRQW1.
+///
+/// # Panics
+/// Panics for numbers outside `1..=6`.
+pub fn ebrqw(n: u8) -> WorkloadSpec {
+    let base = WorkloadSpec::new(
+        match n {
+            1 => "EbRQW1",
+            2 => "EbRQW2",
+            3 => "EbRQW3",
+            4 => "EbRQW4",
+            5 => "EbRQW5",
+            6 => "EbRQW6",
+            _ => panic!("EbRQW{n} is not one of the six eBird workloads"),
+        },
+        DatasetSpec::ebird(),
+        40_000,
+    )
+    // Dataset-search requests span wide ranges compared to the tight
+    // observation clusters.
+    .with_range_scale(2.0);
+    match n {
+        // 100% spatial — the workload the paper evaluates in its figures.
+        1 => base.with_blocks(vec![Mix::spatial_only()]),
+        // 100% keyword (species / protocol searches).
+        2 => base.with_blocks(vec![Mix::keyword_only()]).with_keyword_counts(1, 3),
+        // 100% hybrid (species within a region).
+        3 => base
+            .with_blocks(vec![Mix::new(0.0, 0.0, 1.0)])
+            .with_keyword_counts(1, 2),
+        // Uniform thirds.
+        4 => base.with_keyword_counts(1, 2),
+        // Half spatial, half keyword.
+        5 => base
+            .with_blocks(vec![Mix::new(0.5, 0.5, 0.0)])
+            .with_keyword_counts(1, 2),
+        // Rotating blocks (the TwQW1-style dynamic variant).
+        6 => base
+            .with_blocks(vec![
+                Mix::spatial_only(),
+                Mix::keyword_only(),
+                Mix::new(0.0, 0.0, 1.0),
+            ])
+            .with_keyword_counts(1, 2),
+        _ => unreachable!("validated above"),
+    }
+}
+
+/// `EbRQW1` — the eBird workload the paper's figures use.
+pub fn ebrqw1() -> WorkloadSpec {
+    ebrqw(1)
+}
+
+/// The three CheckIn workloads (§VI-A: "three workloads of different
+/// distributions of query types"). The paper's figures use CiQW1.
+///
+/// # Panics
+/// Panics for numbers outside `1..=3`.
+pub fn ciqw(n: u8) -> WorkloadSpec {
+    let base = WorkloadSpec::new(
+        match n {
+            1 => "CiQW1",
+            2 => "CiQW2",
+            3 => "CiQW3",
+            _ => panic!("CiQW{n} is not one of the three CheckIn workloads"),
+        },
+        DatasetSpec::checkin(),
+        100_000,
+    );
+    match n {
+        // 100K single-keyword queries — the paper's evaluated workload.
+        1 => base
+            .with_blocks(vec![Mix::keyword_only()])
+            .with_keyword_counts(1, 1),
+        // 100% spatial (venue-density queries).
+        2 => base.with_blocks(vec![Mix::spatial_only()]),
+        // Uniform thirds.
+        3 => base.with_keyword_counts(1, 2),
+        _ => unreachable!("validated above"),
+    }
+}
+
+/// `CiQW1` — the CheckIn workload the paper's figures use.
+pub fn ciqw1() -> WorkloadSpec {
+    ciqw(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::QueryType;
+
+    fn type_histogram(spec: &WorkloadSpec, n: usize) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        let mut g = spec.generator();
+        for i in 0..n {
+            let q = g.query_at(i);
+            counts[q.query_type().index() as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn twqw2_is_pure_spatial() {
+        let spec = twqw(2).with_total(1_000);
+        let [s, k, h] = type_histogram(&spec, 1_000);
+        assert_eq!((s, k, h), (1_000, 0, 0));
+    }
+
+    #[test]
+    fn twqw4_is_pure_single_keyword() {
+        let spec = twqw(4).with_total(1_000);
+        let mut g = spec.generator();
+        for i in 0..1_000 {
+            let q = g.query_at(i);
+            assert_eq!(q.query_type(), QueryType::Keyword);
+            assert_eq!(q.keywords().len(), 1);
+        }
+    }
+
+    #[test]
+    fn twqw5_is_pure_multi_keyword() {
+        let spec = twqw(5).with_total(500);
+        let mut g = spec.generator();
+        for i in 0..500 {
+            let q = g.query_at(i);
+            assert_eq!(q.query_type(), QueryType::Keyword);
+            assert!(q.keywords().len() >= 2 && q.keywords().len() <= 5);
+        }
+    }
+
+    #[test]
+    fn twqw1_has_all_types_in_thirds() {
+        let spec = twqw(1).with_total(6_000);
+        let [s, k, h] = type_histogram(&spec, 6_000);
+        // Rotating dominance evens out to roughly a third each.
+        for (name, c) in [("spatial", s), ("keyword", k), ("hybrid", h)] {
+            assert!(
+                (1_400..=2_600).contains(&c),
+                "{name} count {c} far from a third of 6000"
+            );
+        }
+    }
+
+    #[test]
+    fn twqw1_composition_shifts_over_time() {
+        let spec = twqw(1).with_total(6_000);
+        let mut g = spec.generator();
+        // First block is spatial-dominated, second keyword-dominated.
+        let mut first = [0usize; 3];
+        for i in 0..800 {
+            first[g.query_at(i).query_type().index() as usize] += 1;
+        }
+        let mut second = [0usize; 3];
+        for i in 1_000..1_800 {
+            second[g.query_at(i).query_type().index() as usize] += 1;
+        }
+        assert!(first[0] > first[1] * 2, "block 1 not spatial-dominated: {first:?}");
+        assert!(second[1] > second[0] * 2, "block 2 not keyword-dominated: {second:?}");
+    }
+
+    #[test]
+    fn twqw6_differs_from_twqw1_in_order() {
+        let w1 = twqw(1).with_total(4_000);
+        let w6 = twqw(6).with_total(4_000);
+        let mut g1 = w1.generator();
+        let mut g6 = w6.generator();
+        // Early TwQW1 is spatial-dominated; early TwQW6 keyword-dominated.
+        let t1 = g1.query_at(10).query_type();
+        let t6_counts = {
+            let mut c = [0usize; 3];
+            for i in 0..400 {
+                c[g6.query_at(i).query_type().index() as usize] += 1;
+            }
+            c
+        };
+        let _ = t1;
+        assert!(t6_counts[1] > t6_counts[0], "TwQW6 must start keyword-heavy");
+    }
+
+    #[test]
+    fn ebrqw1_is_spatial_with_wide_ranges() {
+        let spec = ebrqw1().with_total(500);
+        let mut g = spec.generator();
+        let domain = spec.dataset().domain;
+        for i in 0..500 {
+            let q = g.query_at(i);
+            assert_eq!(q.query_type(), QueryType::Spatial);
+            let r = q.range().unwrap();
+            assert!(domain.contains_rect(r));
+            assert!(r.area() > 0.0);
+        }
+    }
+
+    #[test]
+    fn ciqw1_single_keyword_in_vocab() {
+        let spec = ciqw1().with_total(500);
+        let vocab = spec.dataset().vocab_size;
+        let mut g = spec.generator();
+        for i in 0..500 {
+            let q = g.query_at(i);
+            assert_eq!(q.keywords().len(), 1);
+            assert!((q.keywords()[0].index()) < vocab);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a: Vec<_> = {
+            let spec = twqw(1).with_total(100);
+            let mut g = spec.generator();
+            (0..100).map(|i| g.query_at(i)).collect()
+        };
+        let b: Vec<_> = {
+            let spec = twqw(1).with_total(100);
+            let mut g = spec.generator();
+            (0..100).map(|i| g.query_at(i)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not one of the evaluated workloads")]
+    fn unknown_workload_panics() {
+        let _ = twqw(9);
+    }
+
+    #[test]
+    fn all_ebird_workloads_generate() {
+        for n in 1..=6u8 {
+            let spec = ebrqw(n).with_total(300);
+            let mut g = spec.generator();
+            for i in 0..300 {
+                let _ = g.query_at(i);
+            }
+            assert!(spec.name().starts_with("EbRQW"));
+        }
+    }
+
+    #[test]
+    fn ebrqw2_is_pure_keyword() {
+        let spec = ebrqw(2).with_total(300);
+        let mut g = spec.generator();
+        for i in 0..300 {
+            assert_eq!(g.query_at(i).query_type(), QueryType::Keyword);
+        }
+    }
+
+    #[test]
+    fn ebrqw3_is_pure_hybrid() {
+        let spec = ebrqw(3).with_total(300);
+        let mut g = spec.generator();
+        for i in 0..300 {
+            assert_eq!(g.query_at(i).query_type(), QueryType::Hybrid);
+        }
+    }
+
+    #[test]
+    fn ciqw2_is_pure_spatial() {
+        let spec = ciqw(2).with_total(300);
+        let mut g = spec.generator();
+        for i in 0..300 {
+            assert_eq!(g.query_at(i).query_type(), QueryType::Spatial);
+        }
+    }
+
+    #[test]
+    fn ciqw3_mixes_types() {
+        let spec = ciqw(3).with_total(900);
+        let [s, k, h] = type_histogram(&spec, 900);
+        assert!(s > 100 && k > 100 && h > 100, "not mixed: {s}/{k}/{h}");
+    }
+
+    #[test]
+    #[should_panic(expected = "three CheckIn workloads")]
+    fn unknown_checkin_workload_panics() {
+        let _ = ciqw(5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Live pipeline: run LATEST the way a service would — ingestion on a
+//! background thread (crossbeam channel with backpressure), queries from
+//! several client threads against a shared handle.
+//!
+//! ```text
+//! cargo run --release -p latest-core --example live_pipeline
+//! ```
+
+use estimators::EstimatorConfig;
+use geostream::synth::DatasetSpec;
+use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
+use latest_core::concurrent::StreamPipeline;
+use latest_core::{LatestConfig, PhaseTag};
+
+fn main() {
+    let dataset = DatasetSpec::twitter();
+    let config = LatestConfig {
+        window_span: Duration::from_secs(60),
+        warmup: Duration::from_secs(60),
+        pretrain_queries: 120,
+        estimator_config: EstimatorConfig {
+            domain: dataset.domain,
+            reservoir_capacity: 5_000,
+            ..EstimatorConfig::default()
+        },
+        ..LatestConfig::default()
+    };
+
+    println!("spawning ingestion pipeline…");
+    let pipeline = StreamPipeline::spawn(config, dataset.generator(), 8_192);
+    pipeline.wait_for_phase(PhaseTag::PreTraining);
+    println!("window filled: {} live objects", pipeline.handle().window_len());
+
+    // Feed the pre-training phase from the main thread.
+    let hotspots: Vec<Point> = dataset
+        .spatial_model()
+        .hotspots()
+        .iter()
+        .take(8)
+        .map(|h| h.center)
+        .collect();
+    let handle = pipeline.handle();
+    let mut i = 0u32;
+    while handle.phase() == PhaseTag::PreTraining {
+        let c = hotspots[i as usize % hotspots.len()];
+        let area = Rect::centered_clamped(c, 2.0, 1.5, &dataset.domain);
+        let q = match i % 3 {
+            0 => RcDvq::spatial(area),
+            1 => RcDvq::keyword(vec![KeywordId(i % 40)]),
+            _ => RcDvq::hybrid(area, vec![KeywordId(i % 40)]),
+        };
+        handle.query(&q);
+        i += 1;
+    }
+    println!("pre-training finished after {i} queries; serving clients…\n");
+
+    // Four concurrent "client" threads hammer the shared instance while
+    // ingestion keeps running underneath.
+    let mut clients = Vec::new();
+    for t in 0..4u32 {
+        let handle = pipeline.handle();
+        let hotspots = hotspots.clone();
+        let domain = dataset.domain;
+        clients.push(std::thread::spawn(move || {
+            let mut acc_sum = 0.0;
+            let queries = 200;
+            for i in 0..queries {
+                let c = hotspots[(t + i) as usize % hotspots.len()];
+                let area = Rect::centered_clamped(c, 2.0, 1.5, &domain);
+                let q = if (t + i) % 2 == 0 {
+                    RcDvq::spatial(area)
+                } else {
+                    RcDvq::hybrid(area, vec![KeywordId((t * 53 + i) % 40)])
+                };
+                acc_sum += handle.query(&q).accuracy;
+            }
+            (t, acc_sum / queries as f64)
+        }));
+    }
+    for client in clients {
+        let (t, mean_acc) = client.join().expect("client thread panicked");
+        println!("client {t}: mean accuracy {mean_acc:.3} over 200 queries");
+    }
+
+    let handle = pipeline.handle();
+    println!(
+        "\nactive estimator: {} | switches: {} | window: {} objects",
+        handle.active_kind(),
+        handle.switch_count(),
+        handle.window_len()
+    );
+    let ingested = pipeline.shutdown();
+    println!("pipeline ingested {ingested} objects in the background");
+}

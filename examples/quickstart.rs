@@ -1,0 +1,97 @@
+//! Quickstart: stand up a LATEST instance on a synthetic geo-textual
+//! stream and ask it selectivity questions.
+//!
+//! ```text
+//! cargo run --release -p latest-core --example quickstart
+//! ```
+
+use geostream::synth::DatasetSpec;
+use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
+use latest_core::{Latest, LatestConfig, PhaseTag};
+
+fn main() {
+    // A Twitter-like synthetic stream: hotspot-clustered geotagged posts
+    // with Zipf-distributed keywords.
+    let dataset = DatasetSpec::twitter();
+    let mut objects = dataset.generator();
+
+    // LATEST sized for a quick demo: a 60-second window, short
+    // pre-training, and the RSH sampler as the default estimator.
+    let config = LatestConfig {
+        window_span: Duration::from_secs(60),
+        warmup: Duration::from_secs(60),
+        pretrain_queries: 120,
+        estimator_config: estimators::EstimatorConfig {
+            domain: dataset.domain,
+            reservoir_capacity: 5_000,
+            ..estimators::EstimatorConfig::default()
+        },
+        ..LatestConfig::default()
+    };
+    let mut latest = Latest::new(config);
+
+    // Phase 1 — warm-up: stream data until the window is full.
+    while latest.phase() == PhaseTag::WarmUp {
+        latest.ingest(objects.next_object());
+    }
+    println!(
+        "warm-up done: {} live objects in the window",
+        latest.window_len()
+    );
+
+    // Phase 2 — pre-training: every query runs on all six estimators and
+    // becomes training data for the Hoeffding tree.
+    let downtown = Rect::centered_clamped(
+        Point::new(-118.2, 34.0), // Los Angeles-ish
+        2.0,
+        1.5,
+        &dataset.domain,
+    );
+    let mut qn = 0u32;
+    while latest.phase() == PhaseTag::PreTraining {
+        for _ in 0..25 {
+            latest.ingest(objects.next_object());
+        }
+        let query = match qn % 3 {
+            0 => RcDvq::spatial(downtown),
+            1 => RcDvq::keyword(vec![KeywordId(qn % 50)]),
+            _ => RcDvq::hybrid(downtown, vec![KeywordId(qn % 50)]),
+        };
+        latest.query(&query, latest.now());
+        qn += 1;
+    }
+    println!(
+        "pre-training done after {qn} queries; model: {:?}",
+        latest.tree_stats()
+    );
+
+    // Phase 3 — incremental learning: one active estimator answers, the
+    // system logs score it, and the adaptor switches when accuracy sags.
+    for i in 0..200u32 {
+        for _ in 0..25 {
+            latest.ingest(objects.next_object());
+        }
+        let query = RcDvq::hybrid(downtown, vec![KeywordId(i % 20)]);
+        let out = latest.query(&query, latest.now());
+        if i % 50 == 0 {
+            println!(
+                "q{i:>3} [{}] estimate={:>8.1} actual={:>6} accuracy={:.2} latency={:.3}ms",
+                out.estimator, out.estimate, out.actual, out.accuracy, out.latency_ms
+            );
+        }
+    }
+
+    let log = latest.log();
+    println!(
+        "\nactive estimator: {} | switches: {} | mean incremental accuracy: {:.3}",
+        latest.active_kind(),
+        log.switches.len(),
+        log.mean_incremental_accuracy().unwrap_or(f64::NAN)
+    );
+    for sw in &log.switches {
+        println!(
+            "  switch at query #{}: {} -> {} (trigger avg {:.2})",
+            sw.at_seq, sw.from, sw.to, sw.trigger_average
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Property-based invariants (proptest) across the workspace's core data
+//! structures: exactness of the executor against brute force, estimator
+//! bounds, window semantics, geometry algebra, and learner robustness.
+
+use estimators::{build_estimator, EstimatorConfig, EstimatorKind};
+use exactdb::{ExactExecutor, SpatialIndexKind};
+use geostream::{
+    Duration, GeoTextObject, KeywordId, ObjectId, Point, RcDvq, Rect, SlidingWindow, Timestamp,
+};
+use hoeffding::{AttributeSpec, HoeffdingTree, HoeffdingTreeConfig, Schema, Value};
+use proptest::prelude::*;
+
+const DOMAIN: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 100.0,
+    max_y: 100.0,
+};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..90.0f64, 0.0..90.0f64, 0.5..40.0f64, 0.5..40.0f64).prop_map(|(x, y, w, h)| {
+        Rect::new(x, y, (x + w).min(100.0), (y + h).min(100.0))
+    })
+}
+
+fn arb_object(id: u64) -> impl Strategy<Value = GeoTextObject> {
+    (arb_point(), proptest::collection::vec(0u32..30, 0..4)).prop_map(move |(loc, kws)| {
+        GeoTextObject::new(
+            ObjectId(id),
+            loc,
+            kws.into_iter().map(KeywordId).collect(),
+            Timestamp(id),
+        )
+    })
+}
+
+fn arb_objects(n: usize) -> impl Strategy<Value = Vec<GeoTextObject>> {
+    proptest::collection::vec(arb_point(), n..=n).prop_flat_map(|pts| {
+        let kws = proptest::collection::vec(proptest::collection::vec(0u32..30, 0..4), pts.len());
+        (Just(pts), kws).prop_map(|(pts, kws)| {
+            pts.into_iter()
+                .zip(kws)
+                .enumerate()
+                .map(|(i, (loc, kw))| {
+                    GeoTextObject::new(
+                        ObjectId(i as u64),
+                        loc,
+                        kw.into_iter().map(KeywordId).collect(),
+                        Timestamp(i as u64),
+                    )
+                })
+                .collect()
+        })
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = RcDvq> {
+    prop_oneof![
+        arb_rect().prop_map(RcDvq::spatial),
+        proptest::collection::vec(0u32..30, 1..4)
+            .prop_map(|k| RcDvq::keyword(k.into_iter().map(KeywordId).collect())),
+        (arb_rect(), proptest::collection::vec(0u32..30, 1..4)).prop_map(|(r, k)| {
+            RcDvq::hybrid(r, k.into_iter().map(KeywordId).collect())
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn executor_matches_brute_force(objects in arb_objects(120), query in arb_query()) {
+        let mut grid = ExactExecutor::new(DOMAIN, SpatialIndexKind::Grid);
+        let mut quad = ExactExecutor::new(DOMAIN, SpatialIndexKind::Quadtree);
+        let mut rtree = ExactExecutor::new(DOMAIN, SpatialIndexKind::RTree);
+        for o in &objects {
+            grid.insert(o);
+            quad.insert(o);
+            rtree.insert(o);
+        }
+        let brute = objects.iter().filter(|o| query.matches(o)).count() as u64;
+        prop_assert_eq!(grid.execute(&query), brute);
+        prop_assert_eq!(quad.execute(&query), brute);
+        prop_assert_eq!(rtree.execute(&query), brute);
+    }
+
+    #[test]
+    fn rtree_invariants_survive_arbitrary_churn(
+        objects in arb_objects(150),
+        drop in proptest::collection::vec(proptest::bool::ANY, 150)
+    ) {
+        let mut t = exactdb::rtree::RTreeIndex::new();
+        for o in &objects {
+            t.insert(o);
+        }
+        for (o, d) in objects.iter().zip(&drop) {
+            if *d {
+                t.remove(o.oid);
+            }
+        }
+        t.check_invariants();
+        let live = objects.iter().zip(&drop).filter(|(_, d)| !**d).count();
+        prop_assert_eq!(t.len(), live);
+    }
+
+    #[test]
+    fn estimators_stay_bounded(objects in arb_objects(150), query in arb_query()) {
+        let config = EstimatorConfig {
+            domain: DOMAIN,
+            reservoir_capacity: 64, // force real sampling
+            ..EstimatorConfig::default()
+        };
+        for kind in EstimatorKind::ALL {
+            let mut est = build_estimator(kind, &config);
+            for o in &objects {
+                est.insert(o);
+            }
+            let e = est.estimate(&query);
+            prop_assert!(e.is_finite() && e >= 0.0, "{}: estimate {}", kind, e);
+            // No estimator may exceed the window population by more than
+            // 1% numerical slack (H4096's keyword fallback answers the
+            // whole population; nothing should answer more).
+            prop_assert!(
+                e <= objects.len() as f64 * 1.01 + 1.0,
+                "{}: estimate {} exceeds population {}",
+                kind, e, objects.len()
+            );
+        }
+    }
+
+    #[test]
+    fn full_capacity_sampler_is_exact(objects in arb_objects(100), query in arb_query()) {
+        // Reservoir bigger than the stream ⇒ the sample IS the window.
+        let config = EstimatorConfig {
+            domain: DOMAIN,
+            reservoir_capacity: 1_000,
+            ..EstimatorConfig::default()
+        };
+        let brute = objects.iter().filter(|o| query.matches(o)).count() as f64;
+        for kind in [EstimatorKind::Rsl, EstimatorKind::Rsh] {
+            let mut est = build_estimator(kind, &config);
+            for o in &objects {
+                est.insert(o);
+            }
+            let e = est.estimate(&query);
+            prop_assert!((e - brute).abs() < 1e-6, "{}: {} vs {}", kind, e, brute);
+        }
+    }
+
+    #[test]
+    fn removal_is_inverse_of_insertion(objects in arb_objects(80)) {
+        let config = EstimatorConfig {
+            domain: DOMAIN,
+            reservoir_capacity: 1_000,
+            ..EstimatorConfig::default()
+        };
+        let whole = RcDvq::spatial(DOMAIN);
+        for kind in [
+            EstimatorKind::H4096,
+            EstimatorKind::Rsl,
+            EstimatorKind::Rsh,
+            EstimatorKind::Aasp,
+        ] {
+            let mut est = build_estimator(kind, &config);
+            for o in &objects {
+                est.insert(o);
+            }
+            for o in &objects {
+                est.remove(o);
+            }
+            prop_assert_eq!(est.population(), 0);
+            let residue = est.estimate(&whole);
+            prop_assert!(residue.abs() < 1e-6, "{}: residue {}", kind, residue);
+        }
+    }
+
+    #[test]
+    fn window_holds_exactly_the_recent_span(gaps in proptest::collection::vec(0u64..50, 1..200)) {
+        let span = Duration(200);
+        let mut w = SlidingWindow::new(span);
+        let mut evicted = Vec::new();
+        let mut t = 0u64;
+        for (i, gap) in gaps.iter().enumerate() {
+            t += gap;
+            w.insert(
+                GeoTextObject::new(ObjectId(i as u64), Point::new(0.0, 0.0), vec![], Timestamp(t)),
+                &mut evicted,
+            );
+        }
+        let horizon = w.horizon();
+        // Everything in the window is within the span; everything evicted
+        // is strictly older.
+        for o in w.iter() {
+            prop_assert!(o.timestamp >= horizon);
+        }
+        for o in &evicted {
+            prop_assert!(o.timestamp < horizon);
+        }
+        prop_assert_eq!(w.len() + evicted.len(), gaps.len());
+    }
+
+    #[test]
+    fn rect_intersection_is_commutative_and_contained(a in arb_rect(), b in arb_rect()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area().min(b.area()) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rect_coverage_is_a_fraction(a in arb_rect(), b in arb_rect()) {
+        let c = a.coverage_by(&b);
+        prop_assert!((0.0..=1.0).contains(&c));
+        // Self-coverage is total.
+        prop_assert!((a.coverage_by(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadrants_partition_points(r in arb_rect(), fx in 0.0..1.0f64, fy in 0.0..1.0f64) {
+        // Generate the point inside the rect directly (a random point
+        // almost never lands in a random rect).
+        let p = Point::new(
+            r.min_x + fx * r.width(),
+            r.min_y + fy * r.height(),
+        );
+        let q = r.quadrant_of(&p);
+        let quads = r.quadrants();
+        prop_assert!(quads[q].contains(&p));
+        // The point is in exactly one half-open quadrant; the chosen one
+        // must be consistent with the split.
+        let c = r.center();
+        prop_assert_eq!(q, (usize::from(p.y >= c.y)) * 2 + usize::from(p.x >= c.x));
+    }
+
+    #[test]
+    fn hoeffding_tree_is_total_on_valid_instances(
+        records in proptest::collection::vec((0u32..3, 0.0..1.0f64, 0u32..2), 1..300)
+    ) {
+        let schema = Schema::new(
+            vec![
+                AttributeSpec::categorical("c", 3),
+                AttributeSpec::numeric("x"),
+            ],
+            2,
+        );
+        let mut tree = HoeffdingTree::new(schema, HoeffdingTreeConfig {
+            grace_period: 20,
+            ..HoeffdingTreeConfig::default()
+        });
+        for (c, x, label) in &records {
+            tree.train(&vec![Value::Cat(*c), Value::Num(*x)], *label);
+        }
+        // Predictions never panic and stay in the class range.
+        for (c, x, _) in records.iter().take(20) {
+            let p = tree.predict(&vec![Value::Cat(*c), Value::Num(*x)]);
+            prop_assert!(p < 2);
+        }
+        prop_assert_eq!(tree.instances_seen(), records.len() as u64);
+    }
+
+    #[test]
+    fn object_dedup_and_matching(obj in arb_object(7), kw in 0u32..30) {
+        // Keyword lists are sorted/deduped, and matching agrees with a
+        // linear scan.
+        let sorted: Vec<_> = obj.keywords.to_vec();
+        let mut resorted = sorted.clone();
+        resorted.sort_unstable();
+        resorted.dedup();
+        prop_assert_eq!(&sorted, &resorted);
+        let needle = KeywordId(kw);
+        prop_assert_eq!(obj.has_keyword(needle), obj.keywords.contains(&needle));
+    }
+}
