@@ -1,0 +1,164 @@
+//! Offline stand-in for `criterion`: same API surface, measures with a
+//! fixed warm-up + timed iterations and prints mean per-iteration time,
+//! so relative comparisons (e.g. serial vs pooled) are still meaningful.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(format!("{param}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            iters: self.sample_size.max(1),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        let mut line = format!(
+            "{}/{id}: {:>12.3} µs/iter ({} iters)",
+            self.name,
+            per_iter * 1e6,
+            b.iters
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let eps = n as f64 / per_iter;
+            line.push_str(&format!("  {:>12.0} elem/s", eps));
+        }
+        println!("{line}");
+        self.criterion
+            .results
+            .push((format!("{}/{id}", self.name), per_iter));
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        self.run(format!("{id}"), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(format!("{id}"), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    /// (label, seconds-per-iteration) of every benchmark run so far.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let name = format!("{name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = format!("{id}");
+        let mut group = self.benchmark_group(name.clone());
+        group.run(name, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`: the derive macros expand to nothing and
+//! the traits are markers, which is sufficient because nothing in this
+//! workspace serializes at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait SerializeTrait {}
+pub trait DeserializeTrait<'de> {}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Toggle the workspace between registry deps (for the committed tree) and
+# the offline .devstubs path deps (for local builds without network).
+# Usage: .devstubs/swap.sh on|off
+set -eu
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+M="$ROOT/Cargo.toml"
+case "${1:-}" in
+  on)
+    sed -i \
+      -e 's#^rand = "0.8"$#rand = { path = ".devstubs/rand" }#' \
+      -e 's#^proptest = "1"$#proptest = { path = ".devstubs/proptest" }#' \
+      -e 's#^criterion = "0.5"$#criterion = { path = ".devstubs/criterion" }#' \
+      -e 's#^parking_lot = "0.12"$#parking_lot = { path = ".devstubs/parking_lot" }#' \
+      -e 's#^crossbeam = "0.8"$#crossbeam = { path = ".devstubs/crossbeam" }#' \
+      -e 's#^serde = { version = "1", features = \["derive", "rc"\] }$#serde = { path = ".devstubs/serde", features = ["derive", "rc"] }#' \
+      "$M"
+    ;;
+  off)
+    sed -i \
+      -e 's#^rand = { path = ".devstubs/rand" }$#rand = "0.8"#' \
+      -e 's#^proptest = { path = ".devstubs/proptest" }$#proptest = "1"#' \
+      -e 's#^criterion = { path = ".devstubs/criterion" }$#criterion = "0.5"#' \
+      -e 's#^parking_lot = { path = ".devstubs/parking_lot" }$#parking_lot = "0.12"#' \
+      -e 's#^crossbeam = { path = ".devstubs/crossbeam" }$#crossbeam = "0.8"#' \
+      -e 's#^serde = { path = ".devstubs/serde", features = \["derive", "rc"\] }$#serde = { version = "1", features = ["derive", "rc"] }#' \
+      "$M"
+    rm -f "$ROOT/Cargo.lock"
+    ;;
+  *)
+    echo "usage: $0 on|off" >&2
+    exit 2
+    ;;
+esac
+grep -n "rand\|serde\|proptest\|criterion\|parking_lot\|crossbeam" "$M" | head -8

@@ -109,21 +109,22 @@ fn bench_memory_budget_sweep(c: &mut Criterion) {
             ..config(&dataset)
         };
         let est = filled(EstimatorKind::Aasp, &objects, &cfg);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(budget),
-            &budget,
-            |b, _| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    let q = &spatial[i % spatial.len()];
-                    i += 1;
-                    std::hint::black_box(est.estimate(q))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &spatial[i % spatial.len()];
+                i += 1;
+                std::hint::black_box(est.estimate(q))
+            });
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_inserts, bench_estimates, bench_memory_budget_sweep);
+criterion_group!(
+    benches,
+    bench_inserts,
+    bench_estimates,
+    bench_memory_budget_sweep
+);
 criterion_main!(benches);

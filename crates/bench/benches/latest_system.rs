@@ -10,17 +10,17 @@ use latest_core::{Latest, LatestConfig, PhaseTag};
 
 fn ready_latest() -> (Latest, geostream::synth::ObjectGenerator) {
     let dataset = DatasetSpec::twitter();
-    let config = LatestConfig {
-        window_span: Duration::from_secs(45),
-        warmup: Duration::from_secs(45),
-        pretrain_queries: 60,
-        estimator_config: EstimatorConfig {
+    let config = LatestConfig::builder()
+        .window_span(Duration::from_secs(45))
+        .warmup(Duration::from_secs(45))
+        .pretrain_queries(60)
+        .estimator_config(EstimatorConfig {
             domain: dataset.domain,
             reservoir_capacity: 2_400,
             ..EstimatorConfig::default()
-        },
-        ..LatestConfig::default()
-    };
+        })
+        .build()
+        .expect("bench parameters are in range");
     let mut latest = Latest::new(config);
     let mut gen = dataset.generator();
     while latest.phase() == PhaseTag::WarmUp {

@@ -1,0 +1,90 @@
+//! Criterion benchmark: serial vs pooled shadow-mode ingest.
+//!
+//! Shadow-metrics mode keeps all six estimators consistent with the
+//! window, which is the worst-case maintenance load LATEST supports. This
+//! benchmark drives identical object batches through an incremental-phase
+//! instance with the estimator pool in serial mode (`pool_workers = 1`)
+//! and fanned across four workers, so the speedup of the pool fan-out is
+//! measured on the real ingest path, not asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use estimators::EstimatorConfig;
+use geostream::synth::{DatasetSpec, ObjectGenerator};
+use geostream::{Duration, KeywordId, RcDvq, Rect};
+use latest_core::{Latest, LatestConfig, PhaseTag};
+
+/// Objects per ingest batch: large enough that per-estimator batch work
+/// dwarfs the scoped-thread spawn cost.
+const BATCH: usize = 512;
+
+fn ready_latest(pool_workers: usize) -> (Latest, ObjectGenerator) {
+    let dataset = DatasetSpec::twitter();
+    let config = LatestConfig::builder()
+        .window_span(Duration::from_secs(45))
+        .warmup(Duration::from_secs(45))
+        .pretrain_queries(40)
+        .shadow_metrics(true)
+        .pool_workers(pool_workers)
+        .estimator_config(EstimatorConfig {
+            domain: dataset.domain,
+            reservoir_capacity: 50_000,
+            ..EstimatorConfig::default()
+        })
+        .build()
+        .expect("bench parameters are in range");
+    let mut latest = Latest::new(config);
+    let mut gen = dataset.generator();
+    while latest.phase() == PhaseTag::WarmUp {
+        latest.ingest(gen.next_object());
+    }
+    let center = dataset.spatial_model().hotspots()[0].center;
+    let area = Rect::centered_clamped(center, 2.0, 1.5, &dataset.domain);
+    let mut n = 0u32;
+    while latest.phase() == PhaseTag::PreTraining {
+        latest.ingest(gen.next_object());
+        let q = match n % 3 {
+            0 => RcDvq::spatial(area),
+            1 => RcDvq::keyword(vec![KeywordId(n % 40)]),
+            _ => RcDvq::hybrid(area, vec![KeywordId(n % 40)]),
+        };
+        latest.query(&q, gen.clock());
+        n += 1;
+    }
+    assert_eq!(latest.phase(), PhaseTag::Incremental);
+    (latest, gen)
+}
+
+fn bench_shadow_ingest(c: &mut Criterion) {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if hw < 2 {
+        eprintln!(
+            "note: this host exposes {hw} core(s); the pool clamps its fan-out to the \
+             hardware, so the pooled arm runs serially here. Run on a multi-core host \
+             to measure the speedup."
+        );
+    }
+    let mut group = c.benchmark_group("shadow_ingest");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for workers in [1usize, 4] {
+        let (mut latest, mut gen) = ready_latest(workers);
+        let label = if workers <= 1 { "serial" } else { "pooled" };
+        group.bench_with_input(
+            BenchmarkId::new(label, format!("{workers}w x {BATCH}")),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    let batch: Vec<_> = (0..BATCH).map(|_| gen.next_object()).collect();
+                    latest.ingest_batch(&batch);
+                    latest.window_len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shadow_ingest);
+criterion_main!(benches);

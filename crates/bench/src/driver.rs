@@ -89,18 +89,18 @@ fn run_workload_inner(
     let window_span = Duration::from_millis(
         dataset.mean_gap.millis().max(1) * (driver.objects_per_query as u64).max(1) * 1_200,
     );
-    let config = LatestConfig {
-        window_span,
-        warmup: window_span,
-        pretrain_queries: driver.pretrain_queries,
-        alpha: driver.alpha,
-        tau: driver.tau,
-        beta: driver.beta,
+    let config = LatestConfig::builder()
+        .window_span(window_span)
+        .warmup(window_span)
+        .pretrain_queries(driver.pretrain_queries)
+        .alpha(driver.alpha)
+        .tau(driver.tau)
+        .beta(driver.beta)
         // Hysteresis scales with the run length so short calibration runs
         // and full runs allow a comparable number of switch opportunities.
-        min_switch_spacing: (driver.incremental_queries / 12).max(48),
-        accuracy_window: (driver.incremental_queries / 50).clamp(16, 32),
-        estimator_config: EstimatorConfig {
+        .min_switch_spacing((driver.incremental_queries / 12).max(48))
+        .accuracy_window((driver.incremental_queries / 50).clamp(16, 32))
+        .estimator_config(EstimatorConfig {
             domain: dataset.domain,
             memory_budget: driver.memory_budget,
             reservoir_capacity: driver.reservoir_capacity,
@@ -108,12 +108,12 @@ fn run_workload_inner(
             // serves as-is; freeze it at the phase boundary.
             ffn_train_budget: driver.pretrain_queries as u64,
             ..EstimatorConfig::default()
-        },
-        shadow_metrics: driver.shadow_metrics,
-        ablation: driver.ablation.clone(),
-        default_estimator,
-        ..LatestConfig::default()
-    };
+        })
+        .shadow_metrics(driver.shadow_metrics)
+        .ablation(driver.ablation.clone())
+        .default_estimator(default_estimator)
+        .build()
+        .expect("driver parameters are in range");
     let mut latest = Latest::new(config);
     let mut objects = dataset.generator();
     let mut queries = spec.generator();

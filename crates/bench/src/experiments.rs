@@ -391,10 +391,12 @@ pub fn model_convergence(scale: Scale) -> String {
     };
     let total = ((100_000.0 * scale.0) as usize).max(5_000);
     // Log-spaced checkpoints so the early learning curve is visible.
-    let mut checkpoints: Vec<usize> = [100usize, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000]
-        .into_iter()
-        .filter(|&c| c < total)
-        .collect();
+    let mut checkpoints: Vec<usize> = [
+        100usize, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    ]
+    .into_iter()
+    .filter(|&c| c < total)
+    .collect();
     checkpoints.push(total);
     let mut trained = 0usize;
     for &cp in &checkpoints {
@@ -489,8 +491,21 @@ pub fn ablation(scale: Scale) -> String {
 
 /// All experiment names, in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig3", "fig4", "fig5", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig13", "model-convergence", "ablation",
+    "fig3",
+    "fig4",
+    "fig5",
+    "table1",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "model-convergence",
+    "ablation",
 ];
 
 /// Runs one experiment by id.

@@ -118,7 +118,11 @@ impl Timeline {
                 out.push_str(kind.name());
                 for b in 0..self.buckets {
                     let s = self.series[kind.index() as usize][b];
-                    let v = if metric == 0 { s.latency_ms } else { s.accuracy };
+                    let v = if metric == 0 {
+                        s.latency_ms
+                    } else {
+                        s.accuracy
+                    };
                     let mark = if self.active[b] == kind { "*" } else { "" };
                     out.push_str(&format!("\t{v:.3}{mark}"));
                 }
@@ -224,7 +228,11 @@ mod tests {
         assert!(means.iter().all(|m| m.samples == 80));
         // H4096 should have sane accuracy on a pure spatial workload.
         let h = means[EstimatorKind::H4096.index() as usize];
-        assert!(h.accuracy > 0.5, "H4096 accuracy on spatial: {}", h.accuracy);
+        assert!(
+            h.accuracy > 0.5,
+            "H4096 accuracy on spatial: {}",
+            h.accuracy
+        );
         let _ = final_choice(&r);
     }
 

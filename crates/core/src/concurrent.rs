@@ -10,35 +10,48 @@
 //!   rates);
 //! * [`StreamPipeline`] — a crossbeam-channel pipeline that runs ingestion
 //!   on a background thread while the caller issues queries from any
-//!   number of threads.
+//!   number of threads. The consumer drains the channel into batches, so
+//!   lock traffic and estimator maintenance are amortized over many
+//!   arrivals ([`Latest::ingest_batch`]).
+//!
+//! Query paths are fallible: once a pipeline shuts down, its handles
+//! return [`LatestError::PipelineShutDown`] instead of silently answering
+//! against a stream that is no longer advancing; [`SharedLatest::try_query`]
+//! additionally refuses to block on a contended instance.
 //!
 //! ```
 //! use geostream::synth::DatasetSpec;
 //! use geostream::{Duration, RcDvq, Rect};
 //! use latest_core::concurrent::StreamPipeline;
-//! use latest_core::{LatestConfig, PhaseTag};
+//! use latest_core::{LatestConfig, LatestError, PhaseTag};
 //!
 //! let dataset = DatasetSpec::twitter();
-//! let config = LatestConfig {
-//!     window_span: Duration::from_secs(30),
-//!     warmup: Duration::from_secs(30),
-//!     pretrain_queries: 10,
-//!     estimator_config: estimators::EstimatorConfig {
+//! let config = LatestConfig::builder()
+//!     .window_span(Duration::from_secs(30))
+//!     .warmup(Duration::from_secs(30))
+//!     .pretrain_queries(10)
+//!     .estimator_config(estimators::EstimatorConfig {
 //!         domain: dataset.domain,
 //!         reservoir_capacity: 1_000,
 //!         ..Default::default()
-//!     },
-//!     ..Default::default()
-//! };
+//!     })
+//!     .build()
+//!     .expect("parameters are in range");
 //! let pipeline = StreamPipeline::spawn(config, dataset.generator(), 8_000);
 //! pipeline.wait_for_phase(PhaseTag::PreTraining);
-//! let out = pipeline
-//!     .handle()
-//!     .query(&RcDvq::spatial(Rect::new(-120.0, 30.0, -100.0, 45.0)));
+//! let handle = pipeline.handle();
+//! let out = handle
+//!     .query(&RcDvq::spatial(Rect::new(-120.0, 30.0, -100.0, 45.0)))
+//!     .expect("pipeline is live");
 //! assert!(out.estimate >= 0.0);
 //! pipeline.shutdown();
+//! assert_eq!(
+//!     handle.query(&RcDvq::spatial(Rect::WORLD)).unwrap_err(),
+//!     LatestError::PipelineShutDown
+//! );
 //! ```
 
+use crate::error::LatestError;
 use crate::log::PhaseTag;
 use crate::system::{Latest, LatestConfig, QueryOutcome};
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -46,13 +59,22 @@ use estimators::EstimatorKind;
 use geostream::synth::ObjectGenerator;
 use geostream::{GeoTextObject, RcDvq, Timestamp};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// How many queued arrivals the pipeline consumer ingests per lock
+/// acquisition, at most. Large enough to amortize locking and estimator
+/// fan-out, small enough to keep query-path lock waits bounded.
+const INGEST_BATCH: usize = 256;
 
 /// A thread-safe, cloneable handle to a LATEST instance.
 #[derive(Clone)]
 pub struct SharedLatest {
     inner: Arc<Mutex<Latest>>,
+    /// Cleared when the owning pipeline shuts down; standalone handles
+    /// stay open forever.
+    open: Arc<AtomicBool>,
 }
 
 impl SharedLatest {
@@ -60,7 +82,27 @@ impl SharedLatest {
     pub fn new(config: LatestConfig) -> Self {
         SharedLatest {
             inner: Arc::new(Mutex::new(Latest::new(config))),
+            open: Arc::new(AtomicBool::new(true)),
         }
+    }
+
+    /// Whether the backing stream is still live (always true for
+    /// standalone handles; false once an owning pipeline shut down).
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+
+    fn ensure_open(&self) -> Result<(), LatestError> {
+        if self.is_open() {
+            Ok(())
+        } else {
+            Err(LatestError::PipelineShutDown)
+        }
+    }
+
+    /// Marks the handle family as shut down (further queries fail).
+    pub(crate) fn close(&self) {
+        self.open.store(false, Ordering::Release);
     }
 
     /// Ingests one stream object.
@@ -68,16 +110,34 @@ impl SharedLatest {
         self.inner.lock().ingest(obj);
     }
 
+    /// Ingests a batch of stream objects under a single lock acquisition.
+    pub fn ingest_batch(&self, batch: &[GeoTextObject]) {
+        self.inner.lock().ingest_batch(batch);
+    }
+
     /// Answers an estimation query at the stream's current time.
-    pub fn query(&self, query: &RcDvq) -> QueryOutcome {
+    pub fn query(&self, query: &RcDvq) -> Result<QueryOutcome, LatestError> {
+        self.ensure_open()?;
         let mut guard = self.inner.lock();
         let now = guard.now();
-        guard.query(query, now)
+        Ok(guard.query(query, now))
     }
 
     /// Answers an estimation query at an explicit stream time.
-    pub fn query_at(&self, query: &RcDvq, at: Timestamp) -> QueryOutcome {
-        self.inner.lock().query(query, at)
+    pub fn query_at(&self, query: &RcDvq, at: Timestamp) -> Result<QueryOutcome, LatestError> {
+        self.ensure_open()?;
+        Ok(self.inner.lock().query(query, at))
+    }
+
+    /// Non-blocking [`query`]: answers only if the instance lock is free
+    /// right now, otherwise returns [`LatestError::WouldBlock`].
+    ///
+    /// [`query`]: SharedLatest::query
+    pub fn try_query(&self, query: &RcDvq) -> Result<QueryOutcome, LatestError> {
+        self.ensure_open()?;
+        let mut guard = self.inner.try_lock().ok_or(LatestError::WouldBlock)?;
+        let now = guard.now();
+        Ok(guard.query(query, now))
     }
 
     /// Current lifetime phase.
@@ -108,7 +168,8 @@ impl SharedLatest {
 
 /// A background ingestion pipeline: a producer thread pulls objects from a
 /// generator and sends them over a bounded crossbeam channel; a consumer
-/// thread ingests them into the shared LATEST instance.
+/// thread drains the channel into batches and ingests each batch into the
+/// shared LATEST instance under one lock acquisition.
 pub struct StreamPipeline {
     handle: SharedLatest,
     stop: Sender<()>,
@@ -147,9 +208,21 @@ impl StreamPipeline {
             .name("latest-ingestor".into())
             .spawn(move || {
                 let mut ingested = 0u64;
+                let mut batch = Vec::with_capacity(INGEST_BATCH);
+                // Block for the first object of a batch, then drain
+                // whatever else is already queued (up to the cap) so one
+                // lock acquisition covers the whole burst.
                 while let Ok(obj) = obj_rx.recv() {
-                    consumer_handle.ingest(obj);
-                    ingested += 1;
+                    batch.push(obj);
+                    while batch.len() < INGEST_BATCH {
+                        match obj_rx.try_recv() {
+                            Ok(obj) => batch.push(obj),
+                            Err(_) => break,
+                        }
+                    }
+                    consumer_handle.ingest_batch(&batch);
+                    ingested += batch.len() as u64;
+                    batch.clear();
                 }
                 ingested
             })
@@ -168,6 +241,16 @@ impl StreamPipeline {
         self.handle.clone()
     }
 
+    /// Answers an estimation query, failing once the pipeline shut down.
+    pub fn query(&self, query: &RcDvq) -> Result<QueryOutcome, LatestError> {
+        self.handle.query(query)
+    }
+
+    /// Non-blocking [`query`](StreamPipeline::query).
+    pub fn try_query(&self, query: &RcDvq) -> Result<QueryOutcome, LatestError> {
+        self.handle.try_query(query)
+    }
+
     /// Blocks until LATEST has reached (at least) `phase`.
     pub fn wait_for_phase(&self, phase: PhaseTag) {
         let rank = |p: PhaseTag| match p {
@@ -181,6 +264,8 @@ impl StreamPipeline {
     }
 
     /// Stops both threads and returns the number of objects ingested.
+    /// Every handle cloned from this pipeline starts failing with
+    /// [`LatestError::PipelineShutDown`].
     pub fn shutdown(mut self) -> u64 {
         self.stop_threads()
     }
@@ -191,7 +276,11 @@ impl StreamPipeline {
             let _ = p.join();
         }
         match self.consumer.take() {
-            Some(c) => c.join().unwrap_or(0),
+            Some(c) => {
+                let ingested = c.join().unwrap_or(0);
+                self.handle.close();
+                ingested
+            }
             None => 0,
         }
     }
@@ -211,17 +300,17 @@ mod tests {
     use geostream::{Duration, KeywordId, Rect};
 
     fn config(dataset: &DatasetSpec) -> LatestConfig {
-        LatestConfig {
-            window_span: Duration::from_secs(30),
-            warmup: Duration::from_secs(30),
-            pretrain_queries: 15,
-            estimator_config: EstimatorConfig {
+        LatestConfig::builder()
+            .window_span(Duration::from_secs(30))
+            .warmup(Duration::from_secs(30))
+            .pretrain_queries(15)
+            .estimator_config(EstimatorConfig {
                 domain: dataset.domain,
                 reservoir_capacity: 1_000,
                 ..EstimatorConfig::default()
-            },
-            ..LatestConfig::default()
-        }
+            })
+            .build()
+            .expect("valid test config")
     }
 
     #[test]
@@ -232,7 +321,9 @@ mod tests {
         let handle = pipeline.handle();
         assert!(handle.window_len() > 0);
         for i in 0..30u32 {
-            let out = handle.query(&RcDvq::keyword(vec![KeywordId(i % 20)]));
+            let out = handle
+                .query(&RcDvq::keyword(vec![KeywordId(i % 20)]))
+                .expect("pipeline is live");
             assert!(out.estimate >= 0.0);
         }
         let ingested = pipeline.shutdown();
@@ -254,7 +345,7 @@ mod tests {
                         Rect::new(-120.0, 30.0, -100.0, 45.0),
                         vec![KeywordId(t * 31 + i)],
                     );
-                    let out = handle.query(&q);
+                    let out = handle.query(&q).expect("pipeline is live");
                     assert!(out.estimate.is_finite());
                     answered += 1;
                 }
@@ -290,5 +381,65 @@ mod tests {
         let clone = shared.clone();
         assert_eq!(clone.window_len(), 100);
         assert_eq!(clone.active_kind(), EstimatorKind::Rsh);
+    }
+
+    #[test]
+    fn shared_batch_ingest_matches_singles() {
+        let dataset = DatasetSpec::twitter();
+        let shared = SharedLatest::new(config(&dataset));
+        let mut gen = dataset.generator();
+        let objs: Vec<GeoTextObject> = (0..200).map(|_| gen.next_object()).collect();
+        shared.ingest_batch(&objs);
+        assert_eq!(shared.window_len(), 200);
+    }
+
+    #[test]
+    fn queries_fail_after_shutdown() {
+        let dataset = DatasetSpec::twitter();
+        let pipeline = StreamPipeline::spawn(config(&dataset), dataset.generator(), 1_024);
+        pipeline.wait_for_phase(PhaseTag::PreTraining);
+        let handle = pipeline.handle();
+        assert!(handle.is_open());
+        let q = RcDvq::keyword(vec![KeywordId(1)]);
+        assert!(handle.query(&q).is_ok());
+        pipeline.shutdown();
+        assert!(!handle.is_open());
+        assert_eq!(handle.query(&q).unwrap_err(), LatestError::PipelineShutDown);
+        assert_eq!(
+            handle.try_query(&q).unwrap_err(),
+            LatestError::PipelineShutDown
+        );
+        assert_eq!(
+            handle.query_at(&q, Timestamp(1)).unwrap_err(),
+            LatestError::PipelineShutDown
+        );
+    }
+
+    #[test]
+    fn try_query_refuses_to_block() {
+        let dataset = DatasetSpec::twitter();
+        let shared = SharedLatest::new(config(&dataset));
+        let mut gen = dataset.generator();
+        for _ in 0..50 {
+            shared.ingest(gen.next_object());
+        }
+        let q = RcDvq::keyword(vec![KeywordId(1)]);
+        // Uncontended: answers.
+        assert!(shared.try_query(&q).is_ok());
+        // Contended: hold the lock on another thread and expect WouldBlock.
+        let holder = shared.clone();
+        let (locked_tx, locked_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let t = std::thread::spawn(move || {
+            holder.with(|_| {
+                locked_tx.send(()).expect("send locked");
+                release_rx.recv().expect("wait for release");
+            });
+        });
+        locked_rx.recv().expect("lock acquired");
+        assert_eq!(shared.try_query(&q).unwrap_err(), LatestError::WouldBlock);
+        release_tx.send(()).expect("release");
+        t.join().expect("holder thread");
+        assert!(shared.try_query(&q).is_ok());
     }
 }

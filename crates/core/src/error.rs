@@ -1,0 +1,57 @@
+//! Typed errors for the fallible LATEST APIs.
+
+use crate::config::ConfigError;
+
+/// What went wrong on a LATEST operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatestError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The pipeline backing this handle has been shut down; no further
+    /// queries can be answered consistently with the stream.
+    PipelineShutDown,
+    /// A non-blocking call found the instance locked by another thread.
+    WouldBlock,
+}
+
+impl std::fmt::Display for LatestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatestError::Config(e) => write!(f, "invalid configuration: {e}"),
+            LatestError::PipelineShutDown => write!(f, "pipeline has shut down"),
+            LatestError::WouldBlock => {
+                write!(f, "instance is busy; non-blocking call would block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LatestError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for LatestError {
+    fn from(e: ConfigError) -> Self {
+        LatestError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_and_chains() {
+        let e = LatestError::from(ConfigError::TauOutOfRange(2.0));
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.source().is_some());
+        assert!(LatestError::PipelineShutDown.source().is_none());
+        assert!(LatestError::WouldBlock.to_string().contains("busy"));
+    }
+}

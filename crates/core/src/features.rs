@@ -175,7 +175,10 @@ mod tests {
             let profile = QueryProfile::of(&q, &DOMAIN);
             for kind in EstimatorKind::ALL {
                 let inst = profile.instance(kind);
-                assert!(schema.validate(&inst).is_ok(), "invalid instance for {kind}");
+                assert!(
+                    schema.validate(&inst).is_ok(),
+                    "invalid instance for {kind}"
+                );
             }
         }
     }

@@ -27,16 +27,22 @@
 
 pub mod adaptor;
 pub mod concurrent;
+pub mod config;
+pub mod error;
 pub mod features;
 pub mod log;
 pub mod monitor;
+pub mod pool;
 pub mod system;
 
 pub use adaptor::Recommender;
 pub use concurrent::{SharedLatest, StreamPipeline};
+pub use config::{ConfigError, LatestConfigBuilder};
+pub use error::LatestError;
 pub use features::{QueryProfile, RewardScaler};
 pub use log::{PhaseTag, QueryRecord, ShadowSample, SwitchEvent, SystemLog};
 pub use monitor::AccuracyMonitor;
+pub use pool::EstimatorPool;
 pub use system::{AblationConfig, Latest, LatestConfig, QueryOutcome};
 
 /// Estimation accuracy of an estimate vs. the logged actual selectivity:

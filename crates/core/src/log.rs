@@ -149,9 +149,7 @@ impl SystemLog {
             ));
             for kind in EstimatorKind::ALL {
                 match q.shadow.iter().find(|s| s.estimator == kind) {
-                    Some(s) => {
-                        out.push_str(&format!(",{:.6},{:.6}", s.latency_ms, s.accuracy))
-                    }
+                    Some(s) => out.push_str(&format!(",{:.6},{:.6}", s.latency_ms, s.accuracy)),
                     None => out.push_str(",,"),
                 }
             }
@@ -185,10 +183,7 @@ impl SystemLog {
             .iter()
             .filter(|q| q.phase == PhaseTag::Incremental)
         {
-            if runs
-                .last()
-                .is_none_or(|&(_, kind)| kind != q.estimator)
-            {
+            if runs.last().is_none_or(|&(_, kind)| kind != q.estimator) {
                 runs.push((q.seq, q.estimator));
             }
         }

@@ -1,0 +1,396 @@
+//! The estimator pool: parallel maintenance of every live estimator.
+//!
+//! LATEST's protocol keeps several estimators consistent with the sliding
+//! window at once — all six during pre-training (§V-C) and shadow-metrics
+//! runs, the active one plus a pre-filling replacement during adaptation
+//! (§V-D). The seed updated them one at a time inside the ingest path, so
+//! maintenance cost scaled linearly with pool size. [`EstimatorPool`]
+//! instead owns the maintained estimators and fans `insert`/`remove`
+//! batches and `estimate`/`observe_query` rounds across them on scoped
+//! worker threads.
+//!
+//! Parallelism is *across estimators, never within one*: each estimator is
+//! only ever touched by one worker per round, in the same per-estimator
+//! call order as the serial path, so every estimator (including the
+//! RNG-driven reservoirs) reaches a state identical to serial maintenance.
+//! With `workers <= 1` the pool degrades to the serial loop — no threads
+//! are spawned at all. The configured worker count is additionally clamped
+//! to the parallelism the host actually exposes: spawning more CPU-bound
+//! workers than cores buys nothing and costs spawn overhead, so on a
+//! single-core machine a `workers = 4` pool runs the serial loop.
+//!
+//! Fan-out rounds accept an optional *sideline* closure that runs on the
+//! calling thread while the workers are busy ([`EstimatorPool::apply_batch_with`]).
+//! The ingest path uses it to overlap the exact executor's index upkeep —
+//! serial work that is independent of every estimator — with the pool
+//! round, taking it off the critical path entirely on multi-core hosts.
+
+use crate::estimation_accuracy;
+use crate::log::ShadowSample;
+use estimators::{build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind};
+use geostream::{GeoTextObject, RcDvq};
+use std::time::Instant;
+
+/// A pool of maintained estimators with a scoped worker fan-out.
+pub struct EstimatorPool {
+    estimators: Vec<BoxedEstimator>,
+    /// Worker-thread cap for fan-out rounds; `0` and `1` both mean serial.
+    workers: usize,
+    /// Hardware cap on spawned workers (`available_parallelism` at
+    /// construction); fan-outs never exceed it.
+    spawn_cap: usize,
+}
+
+impl EstimatorPool {
+    /// Wraps an existing set of estimators.
+    pub fn new(estimators: Vec<BoxedEstimator>, workers: usize) -> Self {
+        let spawn_cap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        EstimatorPool {
+            estimators,
+            workers,
+            spawn_cap,
+        }
+    }
+
+    /// Builds the full six-estimator pool of the pre-training phase, in
+    /// [`EstimatorKind::ALL`] order.
+    pub fn full(config: &EstimatorConfig, workers: usize) -> Self {
+        let estimators = EstimatorKind::ALL
+            .iter()
+            .map(|&k| build_estimator(k, config))
+            .collect();
+        EstimatorPool::new(estimators, workers)
+    }
+
+    /// An estimator-less pool (placeholder during phase transitions).
+    pub fn empty() -> Self {
+        EstimatorPool::new(Vec::new(), 1)
+    }
+
+    /// Number of estimators maintained.
+    pub fn len(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// Whether the pool maintains no estimators.
+    pub fn is_empty(&self) -> bool {
+        self.estimators.is_empty()
+    }
+
+    /// The configured worker cap (`<= 1` means serial).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Overrides the hardware spawn cap. Test hook: lets single-core CI
+    /// hosts exercise the real threaded fan-out.
+    #[doc(hidden)]
+    pub fn set_spawn_cap(&mut self, cap: usize) {
+        self.spawn_cap = cap.max(1);
+    }
+
+    /// Workers a fan-out round will actually use: the configured cap,
+    /// bounded by the pool size and the host's parallelism.
+    fn effective_workers(&self) -> usize {
+        self.workers
+            .clamp(1, self.estimators.len().max(1))
+            .min(self.spawn_cap)
+    }
+
+    /// Splits `ests` into at most `workers` contiguous chunks whose sizes
+    /// differ by at most one (pool order preserved), so no worker inherits
+    /// two extra estimators while another sits idle.
+    fn balanced_chunks(ests: &mut [BoxedEstimator], workers: usize) -> Vec<&mut [BoxedEstimator]> {
+        let (base, rem) = (ests.len() / workers, ests.len() % workers);
+        let mut chunks = Vec::with_capacity(workers);
+        let mut rest = ests;
+        for i in 0..workers {
+            let take = base + usize::from(i < rem);
+            if take == 0 {
+                break;
+            }
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push(head);
+            rest = tail;
+        }
+        chunks
+    }
+
+    /// The kinds currently maintained, in pool order.
+    pub fn kinds(&self) -> Vec<EstimatorKind> {
+        self.estimators.iter().map(|e| e.kind()).collect()
+    }
+
+    /// Adds an estimator to the pool.
+    pub fn push(&mut self, est: BoxedEstimator) {
+        self.estimators.push(est);
+    }
+
+    /// Keeps only the estimators satisfying `keep`.
+    pub fn retain(&mut self, keep: impl FnMut(&BoxedEstimator) -> bool) {
+        self.estimators.retain(keep);
+    }
+
+    /// Dissolves the pool into its estimators (pool order preserved).
+    pub fn into_inner(self) -> Vec<BoxedEstimator> {
+        self.estimators
+    }
+
+    /// Fans a closure across every estimator, running `sideline` on the
+    /// calling thread while the workers are busy. Each estimator is
+    /// visited exactly once, by exactly one thread; the sideline always
+    /// runs, even on an empty pool.
+    fn fan_out<F>(&mut self, f: F, sideline: impl FnOnce())
+    where
+        F: Fn(&mut BoxedEstimator) + Sync,
+    {
+        let workers = self.effective_workers();
+        if workers <= 1 {
+            sideline();
+            for est in &mut self.estimators {
+                f(est);
+            }
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for slice in Self::balanced_chunks(&mut self.estimators, workers) {
+                s.spawn(move || {
+                    for est in slice {
+                        f(est);
+                    }
+                });
+            }
+            // Overlaps with the workers; the scope joins them afterwards.
+            sideline();
+        });
+    }
+
+    /// [`Self::fan_out`] without a sideline.
+    fn par_for_each<F>(&mut self, f: F)
+    where
+        F: Fn(&mut BoxedEstimator) + Sync,
+    {
+        self.fan_out(f, || {});
+    }
+
+    /// Fans a closure across every estimator and collects the results in
+    /// pool order.
+    fn par_map<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut BoxedEstimator) -> R + Sync,
+    {
+        let workers = self.effective_workers();
+        if workers <= 1 {
+            return self.estimators.iter_mut().map(f).collect();
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = Self::balanced_chunks(&mut self.estimators, workers)
+                .into_iter()
+                .map(|slice| s.spawn(move || slice.iter_mut().map(f).collect::<Vec<R>>()))
+                .collect();
+            // Chunks are contiguous, so joining in spawn order preserves
+            // pool order.
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Ingests a batch of arrivals into every estimator.
+    pub fn insert_batch(&mut self, objs: &[GeoTextObject]) {
+        if objs.is_empty() {
+            return;
+        }
+        self.par_for_each(|est| est.insert_batch(objs));
+    }
+
+    /// Retracts a batch of evictions from every estimator.
+    pub fn remove_batch(&mut self, objs: &[GeoTextObject]) {
+        if objs.is_empty() {
+            return;
+        }
+        self.par_for_each(|est| est.remove_batch(objs));
+    }
+
+    /// One maintenance round: every estimator ingests `arrived` and then
+    /// retracts `evicted`, in a single fan-out.
+    pub fn apply_batch(&mut self, arrived: &[GeoTextObject], evicted: &[GeoTextObject]) {
+        if arrived.is_empty() && evicted.is_empty() {
+            return;
+        }
+        self.apply_batch_with(arrived, evicted, || {});
+    }
+
+    /// [`Self::apply_batch`], with independent caller work overlapped on
+    /// the calling thread while the pool's workers run. The ingest path
+    /// passes the exact executor's index upkeep here, taking that serial
+    /// cost off the critical path. `sideline` runs exactly once, even when
+    /// both batches are empty or the pool maintains no estimators.
+    pub fn apply_batch_with(
+        &mut self,
+        arrived: &[GeoTextObject],
+        evicted: &[GeoTextObject],
+        sideline: impl FnOnce(),
+    ) {
+        self.fan_out(
+            |est| {
+                est.insert_batch(arrived);
+                est.remove_batch(evicted);
+            },
+            sideline,
+        );
+    }
+
+    /// One measurement round: every estimator answers `query` (timed) and
+    /// receives the `observe_query` feedback, in a single fan-out. Samples
+    /// come back in pool order.
+    pub fn measure(&mut self, query: &RcDvq, actual: u64) -> Vec<ShadowSample> {
+        self.par_map(|est| {
+            let start = Instant::now();
+            let estimate = est.estimate(query);
+            let latency_ms = start.elapsed().as_secs_f64() * 1_000.0;
+            est.observe_query(query, actual);
+            ShadowSample {
+                estimator: est.kind(),
+                estimate,
+                latency_ms,
+                accuracy: estimation_accuracy(estimate, actual),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{KeywordId, ObjectId, Point, Rect, Timestamp};
+
+    fn config() -> EstimatorConfig {
+        EstimatorConfig {
+            domain: Rect::new(0.0, 0.0, 64.0, 64.0),
+            reservoir_capacity: 500,
+            ..EstimatorConfig::default()
+        }
+    }
+
+    fn objects(n: u64) -> Vec<GeoTextObject> {
+        (0..n)
+            .map(|i| {
+                GeoTextObject::new(
+                    ObjectId(i),
+                    Point::new((i % 64) as f64, ((i / 64) % 64) as f64),
+                    vec![KeywordId(i as u32 % 20)],
+                    Timestamp(i),
+                )
+            })
+            .collect()
+    }
+
+    fn probe() -> RcDvq {
+        RcDvq::hybrid(Rect::new(0.0, 0.0, 32.0, 32.0), vec![KeywordId(3)])
+    }
+
+    #[test]
+    fn full_pool_maintains_all_six() {
+        let mut pool = EstimatorPool::full(&config(), 1);
+        assert_eq!(pool.len(), 6);
+        assert_eq!(pool.kinds(), EstimatorKind::ALL.to_vec());
+        let objs = objects(200);
+        pool.insert_batch(&objs);
+        let samples = pool.measure(&probe(), 50);
+        assert_eq!(samples.len(), 6);
+        for (s, k) in samples.iter().zip(EstimatorKind::ALL) {
+            assert_eq!(s.estimator, k);
+            assert!(s.estimate >= 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial_state() {
+        let mut serial = EstimatorPool::full(&config(), 1);
+        let mut pooled = EstimatorPool::full(&config(), 4);
+        // Exercise the real threaded fan-out even on single-core hosts,
+        // where the hardware clamp would otherwise degrade it to serial.
+        pooled.set_spawn_cap(4);
+        let objs = objects(600);
+        let (head, tail) = objs.split_at(400);
+        serial.insert_batch(head);
+        pooled.insert_batch(head);
+        serial.apply_batch(tail, &head[..100]);
+        pooled.apply_batch(tail, &head[..100]);
+        let q = probe();
+        let a = serial.measure(&q, 80);
+        let b = pooled.measure(&q, 80);
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.estimator, sb.estimator);
+            assert!(
+                (sa.estimate - sb.estimate).abs() < 1e-9,
+                "{}: serial {} vs pooled {}",
+                sa.estimator,
+                sa.estimate,
+                sb.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let mut pool = EstimatorPool::full(&config(), 4);
+        pool.insert_batch(&[]);
+        pool.remove_batch(&[]);
+        pool.apply_batch(&[], &[]);
+        assert!(pool.measure(&probe(), 0).iter().all(|s| s.estimate == 0.0));
+    }
+
+    #[test]
+    fn sideline_runs_exactly_once_in_every_configuration() {
+        let objs = objects(50);
+        for (pool_size, workers) in [(0, 1), (6, 1), (6, 4)] {
+            let mut pool = if pool_size == 0 {
+                EstimatorPool::empty()
+            } else {
+                EstimatorPool::full(&config(), workers)
+            };
+            pool.set_spawn_cap(workers);
+            let mut ran = 0;
+            pool.apply_batch_with(&objs, &[], || ran += 1);
+            assert_eq!(ran, 1, "pool_size={pool_size} workers={workers}");
+            // Empty batches must not skip the sideline either.
+            let mut ran = 0;
+            pool.apply_batch_with(&[], &[], || ran += 1);
+            assert_eq!(ran, 1);
+        }
+    }
+
+    #[test]
+    fn balanced_chunks_cover_the_pool_without_overlap() {
+        let mut pool = EstimatorPool::full(&config(), 4);
+        let sizes: Vec<usize> = EstimatorPool::balanced_chunks(&mut pool.estimators, 4)
+            .iter()
+            .map(|c| c.len())
+            .collect();
+        assert_eq!(sizes, vec![2, 2, 1, 1]);
+        let sizes: Vec<usize> = EstimatorPool::balanced_chunks(&mut pool.estimators, 8)
+            .iter()
+            .map(|c| c.len())
+            .collect();
+        assert_eq!(sizes, vec![1; 6]);
+    }
+
+    #[test]
+    fn retain_and_push_reshape_the_pool() {
+        let mut pool = EstimatorPool::full(&config(), 2);
+        pool.retain(|e| e.kind() != EstimatorKind::Ffn);
+        assert_eq!(pool.len(), 5);
+        pool.push(build_estimator(EstimatorKind::Ffn, &config()));
+        assert_eq!(pool.len(), 6);
+        let inner = pool.into_inner();
+        assert_eq!(inner.last().unwrap().kind(), EstimatorKind::Ffn);
+    }
+}

@@ -1,13 +1,14 @@
 //! The LATEST system module: phase orchestration and the Estimator Adaptor.
 
 use crate::adaptor::Recommender;
+use crate::estimation_accuracy;
 use crate::features::{model_schema, QueryProfile, RewardScaler};
-use geostream::QueryType;
 use crate::log::{PhaseTag, QueryRecord, ShadowSample, SwitchEvent, SystemLog};
 use crate::monitor::AccuracyMonitor;
-use crate::estimation_accuracy;
+use crate::pool::EstimatorPool;
 use estimators::{build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind};
 use exactdb::{ExactExecutor, SpatialIndexKind};
+use geostream::QueryType;
 use geostream::{Duration, GeoTextObject, RcDvq, SlidingWindow, Timestamp};
 use hoeffding::{DdmDetector, DriftState, HoeffdingTree, HoeffdingTreeConfig, TreeStats};
 use std::time::Instant;
@@ -57,6 +58,12 @@ pub struct LatestConfig {
     /// DDM-based retraining (§V-D's "overall error rate" trigger): watch
     /// the tree's own prediction errors and reset it on detected drift.
     pub drift_detection: bool,
+    /// Worker-thread cap for fanning estimator-pool maintenance and
+    /// measurement across threads (`0` and `1` both mean serial). Only the
+    /// multi-estimator paths — pre-training and shadow metrics — fan out;
+    /// parallelism is across estimators, so results are identical to the
+    /// serial path (latency measurements aside).
+    pub pool_workers: usize,
     /// Ablation knobs for the design-choice experiments. All on for the
     /// full LATEST protocol.
     pub ablation: AblationConfig,
@@ -122,6 +129,7 @@ impl Default for LatestConfig {
             shadow_metrics: false,
             retrain_error_threshold: None,
             drift_detection: true,
+            pool_workers: 1,
             ablation: AblationConfig::default(),
         }
     }
@@ -148,15 +156,15 @@ pub struct QueryOutcome {
 
 enum Phase {
     /// Warm-up: all estimators pre-filling, no queries expected.
-    WarmUp { pool: Vec<BoxedEstimator> },
+    WarmUp { pool: EstimatorPool },
     /// Pre-training: every query runs on the whole pool.
-    PreTraining { pool: Vec<BoxedEstimator> },
+    PreTraining { pool: EstimatorPool },
     /// Incremental learning: one active estimator (+ optional prefill).
     Incremental {
         active: BoxedEstimator,
         prefill: Option<BoxedEstimator>,
         /// Shadow pool for per-estimator metrics, when enabled.
-        shadow: Vec<BoxedEstimator>,
+        shadow: EstimatorPool,
     },
 }
 
@@ -193,16 +201,16 @@ pub struct Latest {
 
 impl Latest {
     /// Creates a LATEST instance in the warm-up phase.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`LatestConfig::validate`];
+    /// prefer assembling configs through [`LatestConfig::builder`], which
+    /// surfaces the same checks as a `Result`.
     pub fn new(config: LatestConfig) -> Self {
-        assert!(config.tau > 0.0 && config.tau < 1.0, "tau must be in (0,1)");
-        assert!(
-            config.beta > 0.0 && config.beta < 1.0,
-            "beta must be in (0,1)"
-        );
-        let pool: Vec<BoxedEstimator> = EstimatorKind::ALL
-            .iter()
-            .map(|&k| build_estimator(k, &config.estimator_config))
-            .collect();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
+        let pool = EstimatorPool::full(&config.estimator_config, config.pool_workers);
         Latest {
             window: SlidingWindow::new(config.window_span),
             executor: ExactExecutor::new(config.estimator_config.domain, config.index_kind),
@@ -287,45 +295,58 @@ impl Latest {
     /// and whichever estimators the current phase maintains. Also advances
     /// the warm-up → pre-training transition.
     pub fn ingest(&mut self, obj: GeoTextObject) {
+        self.ingest_batch(std::slice::from_ref(&obj));
+    }
+
+    /// Ingests a batch of stream objects (non-decreasing timestamps) in one
+    /// maintenance round: the window slides once, and each maintained
+    /// estimator receives the arrivals and the evictions as batches —
+    /// fanned across the estimator pool's workers where the phase keeps
+    /// more than one estimator. The warm-up → pre-training transition is
+    /// checked once, after the batch lands (the phases maintain the same
+    /// pool, so mid-batch arrival order is unaffected).
+    pub fn ingest_batch(&mut self, batch: &[GeoTextObject]) {
+        if batch.is_empty() {
+            return;
+        }
         self.evict_buf.clear();
-        self.window.insert(obj.clone(), &mut self.evict_buf);
-        self.executor.insert(&obj);
-        // Split borrows: route insert/remove to the phase's estimators.
-        let evicted = std::mem::take(&mut self.evict_buf);
+        let mut evicted = std::mem::take(&mut self.evict_buf);
+        self.window
+            .insert_batch(batch.iter().cloned(), &mut evicted);
+        // The exact executor's index upkeep is independent of every
+        // estimator, so it rides on the calling thread while the pool's
+        // workers run (split borrows: executor vs. phase).
+        let executor = &mut self.executor;
+        let mut upkeep = || {
+            for obj in batch {
+                executor.insert(obj);
+            }
+            for gone in &evicted {
+                executor.remove(gone);
+            }
+        };
         match &mut self.phase {
             Phase::WarmUp { pool } | Phase::PreTraining { pool } => {
-                for est in pool.iter_mut() {
-                    est.insert(&obj);
-                    for gone in &evicted {
-                        est.remove(gone);
-                    }
-                }
+                pool.apply_batch_with(batch, &evicted, upkeep);
             }
             Phase::Incremental {
                 active,
                 prefill,
                 shadow,
             } => {
-                active.insert(&obj);
-                for gone in &evicted {
-                    active.remove(gone);
-                }
-                if let Some(p) = prefill {
-                    p.insert(&obj);
-                    for gone in &evicted {
-                        p.remove(gone);
+                // The active (and pre-filling) estimator stays on the
+                // calling thread too: it is the latency-critical one, and
+                // the shadow pool is where the bulk of the work lives.
+                shadow.apply_batch_with(batch, &evicted, || {
+                    upkeep();
+                    active.insert_batch(batch);
+                    active.remove_batch(&evicted);
+                    if let Some(p) = prefill {
+                        p.insert_batch(batch);
+                        p.remove_batch(&evicted);
                     }
-                }
-                for est in shadow.iter_mut() {
-                    est.insert(&obj);
-                    for gone in &evicted {
-                        est.remove(gone);
-                    }
-                }
+                });
             }
-        }
-        for gone in &evicted {
-            self.executor.remove(gone);
         }
         self.evict_buf = evicted;
         self.maybe_leave_warmup();
@@ -337,7 +358,9 @@ impl Latest {
         {
             let Phase::WarmUp { pool } = std::mem::replace(
                 &mut self.phase,
-                Phase::PreTraining { pool: Vec::new() },
+                Phase::PreTraining {
+                    pool: EstimatorPool::empty(),
+                },
             ) else {
                 unreachable!()
             };
@@ -352,27 +375,25 @@ impl Latest {
         self.evict_buf.clear();
         let mut evicted = std::mem::take(&mut self.evict_buf);
         self.window.advance_to(at, &mut evicted);
-        for gone in &evicted {
-            self.executor.remove(gone);
+        if !evicted.is_empty() {
             match &mut self.phase {
                 Phase::WarmUp { pool } | Phase::PreTraining { pool } => {
-                    for est in pool.iter_mut() {
-                        est.remove(gone);
-                    }
+                    pool.remove_batch(&evicted);
                 }
                 Phase::Incremental {
                     active,
                     prefill,
                     shadow,
                 } => {
-                    active.remove(gone);
+                    active.remove_batch(&evicted);
                     if let Some(p) = prefill {
-                        p.remove(gone);
+                        p.remove_batch(&evicted);
                     }
-                    for est in shadow.iter_mut() {
-                        est.remove(gone);
-                    }
+                    shadow.remove_batch(&evicted);
                 }
+            }
+            for gone in &evicted {
+                self.executor.remove(gone);
             }
         }
         self.evict_buf = evicted;
@@ -386,9 +407,7 @@ impl Latest {
             PhaseTag::WarmUp | PhaseTag::PreTraining => {
                 self.pretraining_query(query, at, seq, actual, &profile)
             }
-            PhaseTag::Incremental => {
-                self.incremental_query(query, at, seq, actual, &profile)
-            }
+            PhaseTag::Incremental => self.incremental_query(query, at, seq, actual, &profile),
         };
         self.maybe_finish_pretraining();
         outcome
@@ -408,19 +427,8 @@ impl Latest {
         let (Phase::WarmUp { pool } | Phase::PreTraining { pool }) = &mut self.phase else {
             unreachable!("phase checked by caller")
         };
-        let mut samples = Vec::with_capacity(pool.len());
-        for est in pool.iter_mut() {
-            let start = Instant::now();
-            let estimate = est.estimate(query);
-            let latency_ms = start.elapsed().as_secs_f64() * 1_000.0;
-            est.observe_query(query, actual);
-            samples.push(ShadowSample {
-                estimator: est.kind(),
-                estimate,
-                latency_ms,
-                accuracy: estimation_accuracy(estimate, actual),
-            });
-        }
+        // One fan-out measures (and feeds back to) every pool estimator.
+        let samples = pool.measure(query, actual);
         for s in &samples {
             self.scaler.observe_latency(s.latency_ms);
         }
@@ -478,14 +486,17 @@ impl Latest {
         if !done {
             return;
         }
-        let Phase::PreTraining { pool } =
-            std::mem::replace(&mut self.phase, Phase::WarmUp { pool: Vec::new() })
-        else {
+        let Phase::PreTraining { pool } = std::mem::replace(
+            &mut self.phase,
+            Phase::WarmUp {
+                pool: EstimatorPool::empty(),
+            },
+        ) else {
             unreachable!()
         };
         let mut active = None;
         let mut shadow = Vec::new();
-        for est in pool {
+        for est in pool.into_inner() {
             if est.kind() == self.config.default_estimator {
                 active = Some(est);
             } else if self.config.shadow_metrics {
@@ -496,7 +507,7 @@ impl Latest {
         self.phase = Phase::Incremental {
             active: active.expect("default estimator was in the pool"),
             prefill: None,
-            shadow,
+            shadow: EstimatorPool::new(shadow, self.config.pool_workers),
         };
         self.monitor.reset();
         self.queries_since_switch = 0;
@@ -550,7 +561,8 @@ impl Latest {
         let accuracy = estimation_accuracy(estimate, actual);
         active.observe_query(query, actual);
 
-        // Shadow measurements for the figures, when enabled.
+        // Shadow measurements for the figures, when enabled: one fan-out
+        // across the shadow pool.
         let mut samples = Vec::new();
         if self.config.shadow_metrics {
             samples.push(ShadowSample {
@@ -559,18 +571,7 @@ impl Latest {
                 latency_ms,
                 accuracy,
             });
-            for est in shadow.iter_mut() {
-                let s = Instant::now();
-                let e = est.estimate(query);
-                let l = s.elapsed().as_secs_f64() * 1_000.0;
-                est.observe_query(query, actual);
-                samples.push(ShadowSample {
-                    estimator: est.kind(),
-                    estimate: e,
-                    latency_ms: l,
-                    accuracy: estimation_accuracy(e, actual),
-                });
-            }
+            samples.extend(shadow.measure(query, actual));
         }
 
         // Feedback loop: scaler, EWMA rewards, Hoeffding training record.
@@ -654,9 +655,11 @@ impl Latest {
                     if advantage > self.config.switch_margin {
                         let candidate = if self.config.ablation.prefill {
                             let mut c = build_estimator(rec, &self.config.estimator_config);
-                            for obj in self.window.iter() {
-                                c.insert(obj);
-                            }
+                            // Pre-fill from the live window in (at most) two
+                            // batched sweeps over the ring buffer's halves.
+                            let (older, newer) = self.window.as_slices();
+                            c.insert_batch(older);
+                            c.insert_batch(newer);
                             c
                         } else {
                             // Ablation: cold replacement, no pre-filling.
@@ -731,7 +734,6 @@ impl Latest {
         self.error_sum += rel.min(10.0); // cap outliers
         self.error_count += 1;
     }
-
 }
 
 #[cfg(test)]

@@ -169,6 +169,29 @@ impl SelectivityEstimator for AaspTree {
         // slight overcount decays in relevance as the stream moves on.
     }
 
+    fn insert_batch(&mut self, objs: &[GeoTextObject]) {
+        // Tree inserts must stay in arrival order (splits depend on it),
+        // but the KMV synopsis is an order-independent set of minimum
+        // hashes, so its updates can run as a second cache-friendly sweep.
+        for obj in objs {
+            let counted_at = self.tree.insert(&obj.loc);
+            self.tree.payload_mut(counted_at).add_object(&obj.keywords);
+        }
+        for obj in objs {
+            for &kw in obj.keywords.iter() {
+                self.kmv.insert(kw);
+            }
+        }
+    }
+
+    fn remove_batch(&mut self, objs: &[GeoTextObject]) {
+        for obj in objs {
+            if let Some(node) = self.tree.remove(&obj.loc) {
+                self.tree.payload_mut(node).retract_object(&obj.keywords);
+            }
+        }
+    }
+
     fn estimate(&self, query: &RcDvq) -> f64 {
         match query.query_type() {
             // Even pure spatial queries pay the per-leaf walk: statistics

@@ -351,7 +351,10 @@ mod tests {
         let q = RcDvq::spatial(Rect::new(0.0, 0.0, 2.5, 2.5));
         let est = g.estimate(&q);
         let rel = (est - truth_in_q as f64).abs() / truth_in_q as f64;
-        assert!(rel < 0.25, "equi-depth failed on dense region: {est} vs {truth_in_q}");
+        assert!(
+            rel < 0.25,
+            "equi-depth failed on dense region: {est} vs {truth_in_q}"
+        );
     }
 
     #[test]

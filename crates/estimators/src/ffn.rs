@@ -34,7 +34,6 @@ const REPLAY_STEPS: usize = 4;
 /// `ln(1+s) / LOG_SCALE`, comfortably covering millions of matches.
 const LOG_SCALE: f64 = 16.0;
 
-
 /// A feed-forward selectivity regressor over query features.
 pub struct FfnEstimator {
     net: Mlp,
@@ -55,7 +54,12 @@ impl FfnEstimator {
     /// Builds an untrained FFN per `config`.
     pub fn new(config: &EstimatorConfig) -> Self {
         FfnEstimator {
-            net: Mlp::new(&[FEATURES, HIDDEN, HIDDEN, 1], 0.3, 0.2, config.seed ^ 0xff17),
+            net: Mlp::new(
+                &[FEATURES, HIDDEN, HIDDEN, 1],
+                0.3,
+                0.2,
+                config.seed ^ 0xff17,
+            ),
             domain: config.domain,
             population: 0,
             replay: Vec::with_capacity(REPLAY_CAPACITY),

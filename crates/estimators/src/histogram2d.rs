@@ -111,6 +111,27 @@ impl SelectivityEstimator for Histogram2D {
         self.population = self.population.saturating_sub(1);
     }
 
+    fn insert_batch(&mut self, objs: &[GeoTextObject]) {
+        // Cell increments commute (whole counts, exact in f64), so one
+        // population update covers the batch.
+        for obj in objs {
+            let (cx, cy) = self.cell_of(&obj.loc);
+            self.cells[cy * self.side + cx] += 1.0;
+        }
+        self.population += objs.len() as u64;
+    }
+
+    fn remove_batch(&mut self, objs: &[GeoTextObject]) {
+        // Per-cell clamped decrements are monotone, so applying them in
+        // one sweep lands on the same `max(count - k, 0)` as one-at-a-time.
+        for obj in objs {
+            let (cx, cy) = self.cell_of(&obj.loc);
+            let cell = &mut self.cells[cy * self.side + cx];
+            *cell = (*cell - 1.0).max(0.0);
+        }
+        self.population = self.population.saturating_sub(objs.len() as u64);
+    }
+
     fn estimate(&self, query: &RcDvq) -> f64 {
         match query.query_type() {
             QueryType::Spatial | QueryType::Hybrid => {
@@ -209,10 +230,7 @@ mod tests {
         for i in 0..5 {
             h.insert(&obj(i, 2.5, 2.5));
         }
-        let q = RcDvq::hybrid(
-            Rect::new(2.0, 2.0, 3.0, 3.0),
-            vec![geostream::KeywordId(1)],
-        );
+        let q = RcDvq::hybrid(Rect::new(2.0, 2.0, 3.0, 3.0), vec![geostream::KeywordId(1)]);
         // Ignores the keyword predicate: returns the spatial count.
         assert!((h.estimate(&q) - 5.0).abs() < 1e-9);
     }

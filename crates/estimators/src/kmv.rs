@@ -138,7 +138,10 @@ mod tests {
         }
         let est = s.estimate_distinct();
         let rel_err = (est - true_distinct as f64).abs() / true_distinct as f64;
-        assert!(rel_err < 0.2, "relative error too high: {rel_err} (est={est})");
+        assert!(
+            rel_err < 0.2,
+            "relative error too high: {rel_err} (est={est})"
+        );
     }
 
     #[test]

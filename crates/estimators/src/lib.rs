@@ -28,8 +28,8 @@ pub mod nn;
 pub mod reservoir;
 pub mod reservoir_hash;
 pub mod spn;
-pub mod windowed;
 mod traits;
+pub mod windowed;
 
 pub use traits::{
     build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind, SelectivityEstimator,

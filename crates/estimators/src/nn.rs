@@ -51,12 +51,7 @@ impl DenseLayer {
         output.clear();
         for o in 0..self.outputs {
             let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-            let z: f64 = row
-                .iter()
-                .zip(input)
-                .map(|(w, x)| w * x)
-                .sum::<f64>()
-                + self.biases[o];
+            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + self.biases[o];
             output.push(if self.linear { z } else { sigmoid(z) });
         }
     }

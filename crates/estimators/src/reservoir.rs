@@ -110,6 +110,45 @@ impl SelectivityEstimator for ReservoirList {
         }
     }
 
+    fn insert_batch(&mut self, objs: &[GeoTextObject]) {
+        self.population += objs.len() as u64;
+        let mut rest = objs;
+        // Fill phase: below capacity, algorithm R places directly and draws
+        // no random numbers — hoist that branch out of the hot loop.
+        if self.sample.len() < self.capacity {
+            let take = (self.capacity - self.sample.len()).min(rest.len());
+            self.slots.reserve(take);
+            for obj in &rest[..take] {
+                self.seen += 1;
+                self.place(obj.clone(), self.sample.len());
+            }
+            rest = &rest[take..];
+        }
+        // Steady state: same draw per arrival, in the same order, as
+        // one-at-a-time insertion.
+        for obj in rest {
+            self.seen += 1;
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.place(obj.clone(), j as usize);
+            }
+        }
+    }
+
+    fn remove_batch(&mut self, objs: &[GeoTextObject]) {
+        self.population = self.population.saturating_sub(objs.len() as u64);
+        for obj in objs {
+            if let Some(slot) = self.slots.remove(&obj.oid) {
+                let last = self.sample.len() - 1;
+                self.sample.swap(slot, last);
+                self.sample.pop();
+                if slot < self.sample.len() {
+                    self.slots.insert(self.sample[slot].oid, slot);
+                }
+            }
+        }
+    }
+
     fn estimate(&self, query: &RcDvq) -> f64 {
         self.scaled_matches(query)
     }
@@ -119,8 +158,7 @@ impl SelectivityEstimator for ReservoirList {
             .iter()
             .map(GeoTextObject::approx_bytes)
             .sum::<usize>()
-            + self.slots.len()
-                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
+            + self.slots.len() * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
             + std::mem::size_of::<Self>()
     }
 
@@ -233,8 +271,7 @@ mod tests {
         let pop_before = r.population();
         let len_before = r.sample_len();
         // Find an id not in the sample.
-        let sampled: std::collections::HashSet<u64> =
-            r.sample.iter().map(|o| o.oid.0).collect();
+        let sampled: std::collections::HashSet<u64> = r.sample.iter().map(|o| o.oid.0).collect();
         let missing = (0..1_000).find(|i| !sampled.contains(i)).unwrap();
         r.remove(&obj(missing, 0.0, 0.0, &[]));
         assert_eq!(r.population(), pop_before - 1);

@@ -173,8 +173,7 @@ impl SelectivityEstimator for ReservoirHash {
             .iter()
             .map(GeoTextObject::approx_bytes)
             .sum::<usize>()
-            + self.slots.len()
-                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
+            + self.slots.len() * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
             + self
                 .grid
                 .values()

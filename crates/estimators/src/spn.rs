@@ -110,10 +110,7 @@ impl Component {
             let mut buckets: Vec<usize> = kws.iter().map(|&k| kw_bucket(k)).collect();
             buckets.sort_unstable();
             buckets.dedup();
-            let miss: f64 = buckets
-                .iter()
-                .map(|&b| 1.0 - self.kw_probs[b])
-                .product();
+            let miss: f64 = buckets.iter().map(|&b| 1.0 - self.kw_probs[b]).product();
             p *= 1.0 - miss;
         }
         p
@@ -453,10 +450,7 @@ mod tests {
         let common = s.estimate(&RcDvq::keyword(vec![KeywordId(3)]));
         let rare = s.estimate(&RcDvq::keyword(vec![KeywordId(40)]));
         assert!(common > rare, "frequency ordering lost: {common} vs {rare}");
-        assert!(
-            common > 1_800.0,
-            "common keyword underestimated: {common}"
-        );
+        assert!(common > 1_800.0, "common keyword underestimated: {common}");
     }
 
     #[test]

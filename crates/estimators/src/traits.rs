@@ -147,6 +147,30 @@ pub trait SelectivityEstimator: Send {
     /// Retracts an object evicted from the window.
     fn remove(&mut self, obj: &GeoTextObject);
 
+    /// Ingests a batch of arriving objects, in order.
+    ///
+    /// Must be *state-equivalent* to calling [`insert`] once per object in
+    /// the same order (including the order randomized structures consume
+    /// their RNG) — overrides may only amortize per-call overhead, never
+    /// change the resulting estimates.
+    ///
+    /// [`insert`]: SelectivityEstimator::insert
+    fn insert_batch(&mut self, objs: &[GeoTextObject]) {
+        for obj in objs {
+            self.insert(obj);
+        }
+    }
+
+    /// Retracts a batch of evicted objects, in order. Same equivalence
+    /// contract as [`insert_batch`].
+    ///
+    /// [`insert_batch`]: SelectivityEstimator::insert_batch
+    fn remove_batch(&mut self, objs: &[GeoTextObject]) {
+        for obj in objs {
+            self.remove(obj);
+        }
+    }
+
     /// Estimates the RC-DVQ selectivity (number of matching window
     /// objects). Never negative; may exceed the window size for rough
     /// estimators.

@@ -118,11 +118,7 @@ impl SelectivityEstimator for WindowedSampler {
         if self.sample.is_empty() {
             return 0.0;
         }
-        let matches = self
-            .sample
-            .iter()
-            .filter(|(_, o)| query.matches(o))
-            .count();
+        let matches = self.sample.iter().filter(|(_, o)| query.matches(o)).count();
         matches as f64 / self.sample.len() as f64 * self.population as f64
     }
 
@@ -131,8 +127,7 @@ impl SelectivityEstimator for WindowedSampler {
             .iter()
             .map(|(_, o)| o.approx_bytes() + std::mem::size_of::<f64>())
             .sum::<usize>()
-            + self.slots.len()
-                * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
+            + self.slots.len() * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
             + std::mem::size_of::<Self>()
     }
 
@@ -250,6 +245,9 @@ mod tests {
         w.clear();
         assert_eq!(w.population(), 0);
         assert_eq!(w.sample_len(), 0);
-        assert_eq!(w.estimate(&RcDvq::spatial(Rect::new(0.0, 0.0, 9.0, 9.0))), 0.0);
+        assert_eq!(
+            w.estimate(&RcDvq::spatial(Rect::new(0.0, 0.0, 9.0, 9.0))),
+            0.0
+        );
     }
 }

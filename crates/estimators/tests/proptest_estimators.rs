@@ -28,7 +28,11 @@ fn config() -> EstimatorConfig {
 
 fn arb_objects(max: usize) -> impl Strategy<Value = Vec<GeoTextObject>> {
     proptest::collection::vec(
-        (0.0..64.0f64, 0.0..64.0f64, proptest::collection::vec(0u32..40, 0..3)),
+        (
+            0.0..64.0f64,
+            0.0..64.0f64,
+            proptest::collection::vec(0u32..40, 0..3),
+        ),
         1..max,
     )
     .prop_map(|specs| {

@@ -195,8 +195,16 @@ mod tests {
             RcDvq::hybrid(Rect::new(0.0, 0.0, 50.0, 50.0), vec![KeywordId(1)]),
         ];
         for q in &queries {
-            assert_eq!(grid.execute(q), quad.execute(q), "backends disagree on {q:?}");
-            assert_eq!(grid.execute(q), rtree.execute(q), "rtree disagrees on {q:?}");
+            assert_eq!(
+                grid.execute(q),
+                quad.execute(q),
+                "backends disagree on {q:?}"
+            );
+            assert_eq!(
+                grid.execute(q),
+                rtree.execute(q),
+                "rtree disagrees on {q:?}"
+            );
         }
         assert_eq!(grid.kind(), SpatialIndexKind::Grid);
         assert_eq!(quad.kind(), SpatialIndexKind::Quadtree);
@@ -220,7 +228,10 @@ mod tests {
         let queries = [
             RcDvq::spatial(Rect::new(20.0, 20.0, 70.0, 55.0)),
             RcDvq::keyword(vec![KeywordId(5)]),
-            RcDvq::hybrid(Rect::new(0.0, 0.0, 60.0, 60.0), vec![KeywordId(2), KeywordId(11)]),
+            RcDvq::hybrid(
+                Rect::new(0.0, 0.0, 60.0, 60.0),
+                vec![KeywordId(2), KeywordId(11)],
+            ),
         ];
         for q in &queries {
             let brute = all.iter().filter(|o| q.matches(o)).count() as u64;

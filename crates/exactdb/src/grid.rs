@@ -75,12 +75,7 @@ impl GridIndex {
         match query.range() {
             Some(r) => self
                 .candidate_cells(r)
-                .map(|cell| {
-                    self.cells[cell]
-                        .iter()
-                        .filter(|o| query.matches(o))
-                        .count() as u64
-                })
+                .map(|cell| self.cells[cell].iter().filter(|o| query.matches(o)).count() as u64)
                 .sum(),
             None => self
                 .cells
@@ -126,7 +121,8 @@ impl GridIndex {
                 )
             }
         };
-        (y0..=y1.max(y0)).flat_map(move |cy| (x0..=x1.max(x0)).map(move |cx| cy * side + cx))
+        (y0..=y1.max(y0))
+            .flat_map(move |cy| (x0..=x1.max(x0)).map(move |cx| cy * side + cx))
             .filter(move |_| x1 >= x0 && y1 >= y0)
     }
 

@@ -73,10 +73,7 @@ impl InvertedIndex {
     /// has no access path for pure spatial queries.
     pub fn count(&self, query: &RcDvq) -> u64 {
         let kws = query.keywords();
-        assert!(
-            !kws.is_empty(),
-            "inverted index needs a keyword predicate"
-        );
+        assert!(!kws.is_empty(), "inverted index needs a keyword predicate");
         let mut seen: HashSet<ObjectId> = HashSet::new();
         let mut count = 0u64;
         for &kw in kws {

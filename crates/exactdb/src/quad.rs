@@ -178,7 +178,12 @@ mod tests {
     fn exact_counts_after_splits() {
         let mut q = QuadtreeIndex::new(DOMAIN, 4, 10);
         for i in 0..100u64 {
-            q.insert(&obj(i, (i % 16) as f64 + 0.1, ((i / 16) % 16) as f64 + 0.1, &[]));
+            q.insert(&obj(
+                i,
+                (i % 16) as f64 + 0.1,
+                ((i / 16) % 16) as f64 + 0.1,
+                &[],
+            ));
         }
         assert!(q.node_count() > 1, "never split");
         assert_eq!(q.count(&RcDvq::spatial(DOMAIN)), 100);
@@ -201,7 +206,9 @@ mod tests {
     #[test]
     fn remove_and_len() {
         let mut q = QuadtreeIndex::new(DOMAIN, 2, 10);
-        let objects: Vec<_> = (0..20).map(|i| obj(i, 1.0 + (i as f64) * 0.1, 1.0, &[])).collect();
+        let objects: Vec<_> = (0..20)
+            .map(|i| obj(i, 1.0 + (i as f64) * 0.1, 1.0, &[]))
+            .collect();
         for o in &objects {
             q.insert(o);
         }

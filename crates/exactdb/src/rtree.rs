@@ -390,10 +390,7 @@ impl RTreeIndex {
             match &node.kind {
                 NodeKind::Leaf(entries) => {
                     for o in entries {
-                        assert!(
-                            node.mbr.contains(&o.loc),
-                            "object outside its leaf MBR"
-                        );
+                        assert!(node.mbr.contains(&o.loc), "object outside its leaf MBR");
                         assert_eq!(self.locator.get(&o.oid), Some(&id), "stale locator");
                         seen += 1;
                     }

@@ -217,7 +217,9 @@ impl ObjectGenerator {
         let loc = self.spatial.sample(&mut self.rng, self.clock);
         let (lo, hi) = self.spec.kw_per_object;
         let count = self.rng.gen_range(lo..=hi);
-        let kws = self.keywords.sample_keywords(&mut self.rng, self.clock, count);
+        let kws = self
+            .keywords
+            .sample_keywords(&mut self.rng, self.clock, count);
         let oid = ObjectId(self.next_oid);
         self.next_oid += 1;
         GeoTextObject::new(oid, loc, kws, self.clock)

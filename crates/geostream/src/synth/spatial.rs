@@ -96,13 +96,7 @@ impl GaussianMixture {
 
     /// Places `n` hotspots deterministically (from `seed`) inside `domain`,
     /// with standard deviations of `sigma_frac` of the domain extent.
-    pub fn scattered(
-        domain: Rect,
-        n: usize,
-        sigma_frac: f64,
-        background: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn scattered(domain: Rect, n: usize, sigma_frac: f64, background: f64, seed: u64) -> Self {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let hotspots = (0..n)
@@ -290,8 +284,7 @@ mod tests {
             sigma_y: 0.2,
             weight: 1.0,
         };
-        let m = GaussianMixture::new(DOMAIN, vec![a, b], 0.0)
-            .with_drift(Duration(1_000), 50.0);
+        let m = GaussianMixture::new(DOMAIN, vec![a, b], 0.0).with_drift(Duration(1_000), 50.0);
         let mut rng = StdRng::seed_from_u64(5);
         let near_a = Rect::new(-7.0, -7.0, -3.0, -3.0);
         let at = |t: u64, rng: &mut StdRng| {

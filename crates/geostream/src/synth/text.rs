@@ -10,7 +10,12 @@ use rand::Rng;
 pub trait KeywordModel {
     /// Draws `count` (not necessarily distinct) keywords for one object at
     /// virtual time `t`.
-    fn sample_keywords(&self, rng: &mut dyn rand::RngCore, t: Timestamp, count: usize) -> Vec<KeywordId>;
+    fn sample_keywords(
+        &self,
+        rng: &mut dyn rand::RngCore,
+        t: Timestamp,
+        count: usize,
+    ) -> Vec<KeywordId>;
 
     /// Number of distinct terms the model can produce.
     fn vocab_size(&self) -> usize;
@@ -49,12 +54,19 @@ impl ZipfKeywords {
     pub fn sample_rank(&self, rng: &mut dyn rand::RngCore) -> usize {
         let u: f64 = rng.gen();
         // partition_point returns the first index with cdf > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
 impl KeywordModel for ZipfKeywords {
-    fn sample_keywords(&self, rng: &mut dyn rand::RngCore, _t: Timestamp, count: usize) -> Vec<KeywordId> {
+    fn sample_keywords(
+        &self,
+        rng: &mut dyn rand::RngCore,
+        _t: Timestamp,
+        count: usize,
+    ) -> Vec<KeywordId> {
         (0..count)
             .map(|_| KeywordId(self.sample_rank(rng) as u32))
             .collect()
@@ -89,7 +101,12 @@ impl TopicDrift {
 }
 
 impl KeywordModel for TopicDrift {
-    fn sample_keywords(&self, rng: &mut dyn rand::RngCore, t: Timestamp, count: usize) -> Vec<KeywordId> {
+    fn sample_keywords(
+        &self,
+        rng: &mut dyn rand::RngCore,
+        t: Timestamp,
+        count: usize,
+    ) -> Vec<KeywordId> {
         let off = self.offset(t);
         let n = self.base.vocab_size();
         (0..count)

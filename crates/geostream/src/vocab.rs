@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A compact identifier for an interned keyword.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct KeywordId(pub u32);
 
 impl KeywordId {

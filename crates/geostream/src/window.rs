@@ -72,6 +72,35 @@ impl SlidingWindow {
         self.evict_expired(evicted);
     }
 
+    /// Inserts a batch of arriving objects (non-decreasing timestamps),
+    /// advancing the clock as they land and running the eviction sweep
+    /// **once** at the end — the final window contents and the evicted
+    /// set (in FIFO order) are identical to inserting one at a time, but
+    /// the front-of-queue scan is paid once per batch.
+    ///
+    /// # Panics
+    /// Panics if any object is older than its predecessor (in the batch or
+    /// already in the window).
+    pub fn insert_batch(
+        &mut self,
+        objs: impl IntoIterator<Item = GeoTextObject>,
+        evicted: &mut Vec<GeoTextObject>,
+    ) {
+        for obj in objs {
+            if let Some(last) = self.buf.back() {
+                assert!(
+                    obj.timestamp >= last.timestamp,
+                    "out-of-order arrival: {} after {}",
+                    obj.timestamp,
+                    last.timestamp
+                );
+            }
+            self.now = self.now.max(obj.timestamp);
+            self.buf.push_back(obj);
+        }
+        self.evict_expired(evicted);
+    }
+
     /// Advances the clock without inserting (e.g. when only queries arrive),
     /// evicting anything that expired.
     pub fn advance_to(&mut self, t: Timestamp, evicted: &mut Vec<GeoTextObject>) {
@@ -98,6 +127,12 @@ impl SlidingWindow {
     /// Iterates over the live objects, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &GeoTextObject> {
         self.buf.iter()
+    }
+
+    /// The live objects as (up to) two contiguous slices, oldest first —
+    /// the ring buffer's halves, for batch APIs that want `&[_]` input.
+    pub fn as_slices(&self) -> (&[GeoTextObject], &[GeoTextObject]) {
+        self.buf.as_slices()
     }
 
     /// Removes every object and resets the clock to zero.
@@ -182,6 +217,45 @@ mod tests {
         w.clear();
         assert!(w.is_empty());
         assert_eq!(w.now(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn insert_batch_matches_one_at_a_time() {
+        let mut single = SlidingWindow::new(Duration(100));
+        let mut batched = SlidingWindow::new(Duration(100));
+        let objs: Vec<GeoTextObject> = (0..50).map(|i| obj(i, i * 7)).collect();
+        let (mut ev_s, mut ev_b) = (Vec::new(), Vec::new());
+        for o in objs.clone() {
+            single.insert(o, &mut ev_s);
+        }
+        batched.insert_batch(objs, &mut ev_b);
+        assert_eq!(single.len(), batched.len());
+        assert_eq!(single.now(), batched.now());
+        let ids_s: Vec<u64> = ev_s.iter().map(|o| o.oid.0).collect();
+        let ids_b: Vec<u64> = ev_b.iter().map(|o| o.oid.0).collect();
+        assert_eq!(ids_s, ids_b);
+        let live_s: Vec<u64> = single.iter().map(|o| o.oid.0).collect();
+        let live_b: Vec<u64> = batched.iter().map(|o| o.oid.0).collect();
+        assert_eq!(live_s, live_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn insert_batch_rejects_out_of_order() {
+        let mut w = SlidingWindow::new(Duration(10));
+        let mut ev = Vec::new();
+        w.insert_batch(vec![obj(1, 100), obj(2, 50)], &mut ev);
+    }
+
+    #[test]
+    fn as_slices_covers_live_objects() {
+        let mut w = SlidingWindow::new(Duration(1_000));
+        let mut ev = Vec::new();
+        for i in 0..5 {
+            w.insert(obj(i, i * 10), &mut ev);
+        }
+        let (a, b) = w.as_slices();
+        assert_eq!(a.len() + b.len(), w.len());
     }
 
     #[test]

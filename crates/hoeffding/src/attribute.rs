@@ -79,7 +79,10 @@ pub struct Schema {
 impl Schema {
     /// Builds a schema. `num_classes` must be at least 2.
     pub fn new(attributes: Vec<AttributeSpec>, num_classes: u32) -> Self {
-        assert!(!attributes.is_empty(), "schema needs at least one attribute");
+        assert!(
+            !attributes.is_empty(),
+            "schema needs at least one attribute"
+        );
         assert!(num_classes >= 2, "schema needs at least two classes");
         Schema {
             attributes,

@@ -99,10 +99,7 @@ pub fn partition_entropy(parts: &[ClassCounts]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    parts
-        .iter()
-        .map(|p| p.total() / total * p.entropy())
-        .sum()
+    parts.iter().map(|p| p.total() / total * p.entropy()).sum()
 }
 
 /// Incremental Gaussian (mean/variance) estimator using Welford's algorithm,
@@ -206,7 +203,11 @@ impl GaussianEstimator {
         let sd = self.std_dev();
         if sd <= f64::EPSILON {
             // Point mass: use a narrow tolerance band around the mean.
-            return if (x - self.mean).abs() < 1e-9 { 1.0 } else { 1e-9 };
+            return if (x - self.mean).abs() < 1e-9 {
+                1.0
+            } else {
+                1e-9
+            };
         }
         let z = (x - self.mean) / sd;
         (-0.5 * z * z).exp() / (sd * (2.0 * std::f64::consts::PI).sqrt())
@@ -224,8 +225,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

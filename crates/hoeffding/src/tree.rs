@@ -91,12 +91,12 @@ enum Observer {
 impl Observer {
     fn for_attr(spec: &AttributeSpec, num_classes: u32) -> Observer {
         match spec {
-            AttributeSpec::Categorical { arity, .. } => Observer::Categorical(
-                (0..*arity).map(|_| ClassCounts::new(num_classes)).collect(),
-            ),
-            AttributeSpec::Numeric { .. } => Observer::Numeric(
-                (0..num_classes).map(|_| GaussianEstimator::new()).collect(),
-            ),
+            AttributeSpec::Categorical { arity, .. } => {
+                Observer::Categorical((0..*arity).map(|_| ClassCounts::new(num_classes)).collect())
+            }
+            AttributeSpec::Numeric { .. } => {
+                Observer::Numeric((0..num_classes).map(|_| GaussianEstimator::new()).collect())
+            }
         }
     }
 
@@ -147,7 +147,10 @@ enum Node {
     Leaf(LeafNode),
     /// Multiway split on a categorical attribute: `children[v]` handles
     /// value `v`.
-    CatSplit { attr: usize, children: Vec<NodeId> },
+    CatSplit {
+        attr: usize,
+        children: Vec<NodeId>,
+    },
     /// Binary split on a numeric attribute: left takes `value <= threshold`.
     NumSplit {
         attr: usize,
@@ -320,10 +323,8 @@ impl HoeffdingTree {
                 for (obs, &v) in leaf.observers.iter().zip(instance.iter()) {
                     w *= match (obs, v) {
                         (Observer::Categorical(table), Value::Cat(val)) => {
-                            let class_total: f64 =
-                                table.iter().map(|cc| cc.get(c)).sum();
-                            (table[val as usize].get(c) + 1.0)
-                                / (class_total + table.len() as f64)
+                            let class_total: f64 = table.iter().map(|cc| cc.get(c)).sum();
+                            (table[val as usize].get(c) + 1.0) / (class_total + table.len() as f64)
                         }
                         (Observer::Numeric(gs), Value::Num(x)) => {
                             let g = &gs[c as usize];
@@ -390,8 +391,7 @@ impl HoeffdingTree {
         let pad = "  ".repeat(indent);
         match &self.nodes[id] {
             Node::Leaf(leaf) => {
-                let counts: Vec<String> =
-                    leaf.counts.iter().map(|c| format!("{c:.0}")).collect();
+                let counts: Vec<String> = leaf.counts.iter().map(|c| format!("{c:.0}")).collect();
                 out.push_str(&format!(
                     "{pad}leaf depth={} majority={:?} counts=[{}]\n",
                     leaf.depth,
@@ -484,7 +484,11 @@ impl HoeffdingTree {
         let mut sorted = candidates;
         sorted.sort_by(|a, b| b.gain.partial_cmp(&a.gain).expect("gains are finite"));
         let best_gain = sorted[0].gain;
-        let second_gain = if sorted.len() > 1 { sorted[1].gain } else { 0.0 };
+        let second_gain = if sorted.len() > 1 {
+            sorted[1].gain
+        } else {
+            0.0
+        };
         // Range of information gain is log2(num_classes).
         let range = f64::from(self.schema.num_classes()).log2();
         let eps = hoeffding_bound(range, self.config.split_confidence, total as u64);
@@ -538,9 +542,7 @@ impl HoeffdingTree {
                         continue;
                     }
                     let gain = pre_entropy - partition_entropy(&[left.clone(), right.clone()]);
-                    if gain.is_finite()
-                        && best.as_ref().is_none_or(|b| gain > b.gain)
-                    {
+                    if gain.is_finite() && best.as_ref().is_none_or(|b| gain > b.gain) {
                         best = Some(Candidate {
                             gain,
                             attr,
@@ -560,8 +562,11 @@ impl HoeffdingTree {
             .into_iter()
             .map(|seed| {
                 let id = self.nodes.len();
-                self.nodes
-                    .push(Node::Leaf(LeafNode::new(&self.schema, depth + 1, Some(seed))));
+                self.nodes.push(Node::Leaf(LeafNode::new(
+                    &self.schema,
+                    depth + 1,
+                    Some(seed),
+                )));
                 id
             })
             .collect();
@@ -642,7 +647,10 @@ mod tests {
     fn learns_conjunction_with_depth() {
         // class = (a == 0 AND x > 0.5): needs a two-level tree.
         let schema = Schema::new(
-            vec![AttributeSpec::categorical("a", 2), AttributeSpec::numeric("x")],
+            vec![
+                AttributeSpec::categorical("a", 2),
+                AttributeSpec::numeric("x"),
+            ],
             2,
         );
         let mut tree = HoeffdingTree::new(schema, HoeffdingTreeConfig::default());
@@ -807,7 +815,10 @@ mod tests {
         for _ in 0..5_000 {
             x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
             let a = (x >> 8) % 4;
-            tree.train(&vec![Value::Cat(a), Value::Cat((x >> 16) % 3)], u32::from(a == 1));
+            tree.train(
+                &vec![Value::Cat(a), Value::Cat((x >> 16) % 3)],
+                u32::from(a == 1),
+            );
         }
         let text = tree.describe();
         assert!(text.contains("split on a (categorical)"), "{text}");
@@ -828,7 +839,10 @@ mod tests {
     fn accuracy_improves_with_training() {
         // The §V-D claim in miniature: model accuracy rises as records stream in.
         let schema = Schema::new(
-            vec![AttributeSpec::categorical("a", 3), AttributeSpec::numeric("x")],
+            vec![
+                AttributeSpec::categorical("a", 3),
+                AttributeSpec::numeric("x"),
+            ],
             3,
         );
         let mut tree = HoeffdingTree::new(schema, HoeffdingTreeConfig::default());

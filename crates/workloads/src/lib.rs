@@ -92,7 +92,9 @@ pub fn ebrqw(n: u8) -> WorkloadSpec {
         // 100% spatial — the workload the paper evaluates in its figures.
         1 => base.with_blocks(vec![Mix::spatial_only()]),
         // 100% keyword (species / protocol searches).
-        2 => base.with_blocks(vec![Mix::keyword_only()]).with_keyword_counts(1, 3),
+        2 => base
+            .with_blocks(vec![Mix::keyword_only()])
+            .with_keyword_counts(1, 3),
         // 100% hybrid (species within a region).
         3 => base
             .with_blocks(vec![Mix::new(0.0, 0.0, 1.0)])
@@ -224,8 +226,14 @@ mod tests {
         for i in 1_000..1_800 {
             second[g.query_at(i).query_type().index() as usize] += 1;
         }
-        assert!(first[0] > first[1] * 2, "block 1 not spatial-dominated: {first:?}");
-        assert!(second[1] > second[0] * 2, "block 2 not keyword-dominated: {second:?}");
+        assert!(
+            first[0] > first[1] * 2,
+            "block 1 not spatial-dominated: {first:?}"
+        );
+        assert!(
+            second[1] > second[0] * 2,
+            "block 2 not keyword-dominated: {second:?}"
+        );
     }
 
     #[test]
@@ -244,7 +252,10 @@ mod tests {
             c
         };
         let _ = t1;
-        assert!(t6_counts[1] > t6_counts[0], "TwQW6 must start keyword-heavy");
+        assert!(
+            t6_counts[1] > t6_counts[0],
+            "TwQW6 must start keyword-heavy"
+        );
     }
 
     #[test]

@@ -17,10 +17,7 @@ impl Mix {
     /// Builds a mix; the three shares must sum to 1 (±1e-9).
     pub fn new(spatial: f64, keyword: f64, hybrid: f64) -> Self {
         let sum = spatial + keyword + hybrid;
-        assert!(
-            (sum - 1.0).abs() < 1e-9,
-            "mix must sum to 1, got {sum}"
-        );
+        assert!((sum - 1.0).abs() < 1e-9, "mix must sum to 1, got {sum}");
         assert!(spatial >= 0.0 && keyword >= 0.0 && hybrid >= 0.0);
         Mix {
             spatial,
@@ -86,11 +83,7 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Creates a workload over `dataset` with `total` queries and a single
     /// uniform-mix block (one third each) until blocks are configured.
-    pub fn new(
-        name: &'static str,
-        dataset: geostream::synth::DatasetSpec,
-        total: usize,
-    ) -> Self {
+    pub fn new(name: &'static str, dataset: geostream::synth::DatasetSpec, total: usize) -> Self {
         WorkloadSpec {
             name,
             seed: dataset.seed ^ 0x9e3779b9,

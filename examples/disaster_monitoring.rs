@@ -12,9 +12,7 @@
 //! ```
 
 use geostream::synth::DatasetSpec;
-use geostream::{
-    Duration, GeoTextObject, KeywordId, ObjectId, Point, RcDvq, Rect,
-};
+use geostream::{Duration, GeoTextObject, KeywordId, ObjectId, Point, RcDvq, Rect};
 use latest_core::{Latest, LatestConfig, PhaseTag};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,17 +29,17 @@ fn main() {
     let incident_center = Point::new(-118.9, 34.2); // Thousand Oaks-ish
     let affected = Rect::centered_clamped(incident_center, 1.2, 0.9, &dataset.domain);
 
-    let config = LatestConfig {
-        window_span: Duration::from_secs(90),
-        warmup: Duration::from_secs(90),
-        pretrain_queries: 150,
-        estimator_config: estimators::EstimatorConfig {
+    let config = LatestConfig::builder()
+        .window_span(Duration::from_secs(90))
+        .warmup(Duration::from_secs(90))
+        .pretrain_queries(150)
+        .estimator_config(estimators::EstimatorConfig {
             domain: dataset.domain,
             reservoir_capacity: 5_000,
             ..estimators::EstimatorConfig::default()
-        },
-        ..LatestConfig::default()
-    };
+        })
+        .build()
+        .expect("demo parameters are in range");
     let mut latest = Latest::new(config);
 
     while latest.phase() == PhaseTag::WarmUp {
@@ -95,7 +93,11 @@ fn main() {
             out.actual,
             out.accuracy,
             out.estimator,
-            if event_active { "   << FIRE ACTIVE" } else { "" }
+            if event_active {
+                "   << FIRE ACTIVE"
+            } else {
+                ""
+            }
         );
     }
 

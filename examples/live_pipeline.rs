@@ -14,22 +14,28 @@ use latest_core::{LatestConfig, PhaseTag};
 
 fn main() {
     let dataset = DatasetSpec::twitter();
-    let config = LatestConfig {
-        window_span: Duration::from_secs(60),
-        warmup: Duration::from_secs(60),
-        pretrain_queries: 120,
-        estimator_config: EstimatorConfig {
+    // Four pool workers: pre-training and shadow maintenance fan the six
+    // estimators across threads instead of updating them serially.
+    let config = LatestConfig::builder()
+        .window_span(Duration::from_secs(60))
+        .warmup(Duration::from_secs(60))
+        .pretrain_queries(120)
+        .pool_workers(4)
+        .estimator_config(EstimatorConfig {
             domain: dataset.domain,
             reservoir_capacity: 5_000,
             ..EstimatorConfig::default()
-        },
-        ..LatestConfig::default()
-    };
+        })
+        .build()
+        .expect("demo parameters are in range");
 
     println!("spawning ingestion pipeline…");
     let pipeline = StreamPipeline::spawn(config, dataset.generator(), 8_192);
     pipeline.wait_for_phase(PhaseTag::PreTraining);
-    println!("window filled: {} live objects", pipeline.handle().window_len());
+    println!(
+        "window filled: {} live objects",
+        pipeline.handle().window_len()
+    );
 
     // Feed the pre-training phase from the main thread.
     let hotspots: Vec<Point> = dataset
@@ -49,7 +55,7 @@ fn main() {
             1 => RcDvq::keyword(vec![KeywordId(i % 40)]),
             _ => RcDvq::hybrid(area, vec![KeywordId(i % 40)]),
         };
-        handle.query(&q);
+        handle.query(&q).expect("pipeline is live");
         i += 1;
     }
     println!("pre-training finished after {i} queries; serving clients…\n");
@@ -72,7 +78,7 @@ fn main() {
                 } else {
                     RcDvq::hybrid(area, vec![KeywordId((t * 53 + i) % 40)])
                 };
-                acc_sum += handle.query(&q).accuracy;
+                acc_sum += handle.query(&q).expect("pipeline is live").accuracy;
             }
             (t, acc_sum / queries as f64)
         }));

@@ -16,18 +16,19 @@ fn main() {
     let mut objects = dataset.generator();
 
     // LATEST sized for a quick demo: a 60-second window, short
-    // pre-training, and the RSH sampler as the default estimator.
-    let config = LatestConfig {
-        window_span: Duration::from_secs(60),
-        warmup: Duration::from_secs(60),
-        pretrain_queries: 120,
-        estimator_config: estimators::EstimatorConfig {
+    // pre-training, and the RSH sampler as the default estimator. The
+    // builder validates every parameter domain up front.
+    let config = LatestConfig::builder()
+        .window_span(Duration::from_secs(60))
+        .warmup(Duration::from_secs(60))
+        .pretrain_queries(120)
+        .estimator_config(estimators::EstimatorConfig {
             domain: dataset.domain,
             reservoir_capacity: 5_000,
             ..estimators::EstimatorConfig::default()
-        },
-        ..LatestConfig::default()
-    };
+        })
+        .build()
+        .expect("demo parameters are in range");
     let mut latest = Latest::new(config);
 
     // Phase 1 — warm-up: stream data until the window is full.

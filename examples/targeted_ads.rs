@@ -25,7 +25,9 @@ fn main() {
     // Candidate metro areas: the synthetic stream concentrates around its
     // own hotspot mixture, so the campaign targets the six densest
     // synthetic "metros".
-    let metro_names = ["Metro A", "Metro B", "Metro C", "Metro D", "Metro E", "Metro F"];
+    let metro_names = [
+        "Metro A", "Metro B", "Metro C", "Metro D", "Metro E", "Metro F",
+    ];
     let metros: Vec<(&str, f64, f64)> = dataset
         .spatial_model()
         .hotspots()
@@ -39,17 +41,17 @@ fn main() {
     // yesterday's hot hashtags go cold (§I's churn phenomenon).
     let keyword_model = dataset.keyword_model();
 
-    let config = LatestConfig {
-        window_span: Duration::from_secs(90),
-        warmup: Duration::from_secs(90),
-        pretrain_queries: 180,
-        estimator_config: estimators::EstimatorConfig {
+    let config = LatestConfig::builder()
+        .window_span(Duration::from_secs(90))
+        .warmup(Duration::from_secs(90))
+        .pretrain_queries(180)
+        .estimator_config(estimators::EstimatorConfig {
             domain: dataset.domain,
             reservoir_capacity: 5_000,
             ..estimators::EstimatorConfig::default()
-        },
-        ..LatestConfig::default()
-    };
+        })
+        .build()
+        .expect("demo parameters are in range");
     let mut latest = Latest::new(config);
 
     while latest.phase() == PhaseTag::WarmUp {
@@ -98,7 +100,10 @@ fn main() {
         })
         .collect();
     for (product, kw) in &products {
-        println!("product '{product}' (kw{}): estimated mentions per metro", kw.0);
+        println!(
+            "product '{product}' (kw{}): estimated mentions per metro",
+            kw.0
+        );
         let mut rows = Vec::new();
         for (name, x, y) in &metros {
             let area = Rect::centered_clamped(Point::new(*x, *y), 1.5, 1.2, &dataset.domain);

@@ -21,22 +21,22 @@ fn main() {
     let mut objects = dataset.generator();
     let mut rng = StdRng::seed_from_u64(0x5417);
 
-    let config = LatestConfig {
-        window_span: Duration::from_secs(60),
-        warmup: Duration::from_secs(60),
-        pretrain_queries: 150,
+    let config = LatestConfig::builder()
+        .window_span(Duration::from_secs(60))
+        .warmup(Duration::from_secs(60))
+        .pretrain_queries(150)
         // Start from the histogram so the shift to keywords must force a
         // switch.
-        default_estimator: EstimatorKind::H4096,
-        accuracy_window: 24,
-        min_switch_spacing: 24,
-        estimator_config: estimators::EstimatorConfig {
+        .default_estimator(EstimatorKind::H4096)
+        .accuracy_window(24)
+        .min_switch_spacing(24)
+        .estimator_config(estimators::EstimatorConfig {
             domain: dataset.domain,
             reservoir_capacity: 5_000,
             ..estimators::EstimatorConfig::default()
-        },
-        ..LatestConfig::default()
-    };
+        })
+        .build()
+        .expect("demo parameters are in range");
     let mut latest = Latest::new(config);
 
     while latest.phase() == PhaseTag::WarmUp {
@@ -64,7 +64,10 @@ fn main() {
         n += 1;
     }
 
-    println!("phase 1: pure spatial workload (active: {})", latest.active_kind());
+    println!(
+        "phase 1: pure spatial workload (active: {})",
+        latest.active_kind()
+    );
     println!("query  active  accuracy  monitor_avg");
     let print_row = |i: u32, latest: &Latest, acc: f64, switched: bool| {
         let avg = latest

@@ -1,0 +1,142 @@
+//! Batch-ingestion equivalence: for every `EstimatorKind`, driving the
+//! estimator through `insert_batch`/`remove_batch` must leave it
+//! estimate-equivalent to feeding the same objects one at a time. This is
+//! the contract the estimator pool and the pipeline's batched consumer
+//! rely on; it must hold for arbitrary batch partitionings, including the
+//! RNG-consumption order of the randomized sketches.
+
+use estimators::{build_estimator, EstimatorConfig, EstimatorKind};
+use geostream::{GeoTextObject, KeywordId, ObjectId, Point, RcDvq, Rect, Timestamp};
+use proptest::prelude::*;
+
+const DOMAIN: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 100.0,
+    max_y: 100.0,
+};
+
+fn config() -> EstimatorConfig {
+    EstimatorConfig {
+        domain: DOMAIN,
+        // Smaller than the object count, so the reservoir samplers leave
+        // their RNG-free fill phase and the equivalence covers the
+        // steady-state sampling path too.
+        reservoir_capacity: 48,
+        ..EstimatorConfig::default()
+    }
+}
+
+fn arb_objects(n: usize) -> impl Strategy<Value = Vec<GeoTextObject>> {
+    let one = (
+        0.0..100.0f64,
+        0.0..100.0f64,
+        proptest::collection::vec(0u32..30, 0..4),
+    );
+    proptest::collection::vec(one, n..=n).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, kws))| {
+                GeoTextObject::new(
+                    ObjectId(i as u64),
+                    Point::new(x, y),
+                    kws.into_iter().map(KeywordId).collect(),
+                    Timestamp(i as u64),
+                )
+            })
+            .collect()
+    })
+}
+
+/// Splits `objs` into consecutive chunks whose sizes cycle through
+/// `sizes`, so a single proptest vector exercises many partitionings.
+fn chunked<'a>(objs: &'a [GeoTextObject], sizes: &[usize]) -> Vec<&'a [GeoTextObject]> {
+    let mut chunks = Vec::new();
+    let mut at = 0;
+    let mut i = 0;
+    while at < objs.len() {
+        let take = sizes[i % sizes.len()].clamp(1, objs.len() - at);
+        chunks.push(&objs[at..at + take]);
+        at += take;
+        i += 1;
+    }
+    chunks
+}
+
+fn probe_queries() -> Vec<RcDvq> {
+    vec![
+        RcDvq::spatial(DOMAIN),
+        RcDvq::spatial(Rect::new(10.0, 10.0, 55.0, 60.0)),
+        RcDvq::keyword(vec![KeywordId(3)]),
+        RcDvq::keyword(vec![KeywordId(7), KeywordId(21)]),
+        RcDvq::hybrid(Rect::new(25.0, 0.0, 90.0, 45.0), vec![KeywordId(12)]),
+    ]
+}
+
+fn assert_estimate_equivalent(
+    kind: EstimatorKind,
+    singles: &dyn estimators::SelectivityEstimator,
+    batched: &dyn estimators::SelectivityEstimator,
+) {
+    assert_eq!(
+        singles.population(),
+        batched.population(),
+        "{kind}: populations diverged"
+    );
+    for q in probe_queries() {
+        let (a, b) = (singles.estimate(&q), batched.estimate(&q));
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "{kind}: estimates diverged on {q:?}: {a} vs {b}"
+        );
+    }
+}
+
+proptest! {
+    // FFN/SPN construction dominates the runtime; keep the case count
+    // modest — every case already covers all six kinds.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn insert_batch_matches_one_at_a_time(
+        objects in arb_objects(140),
+        sizes in proptest::collection::vec(1usize..24, 1..6),
+    ) {
+        for kind in EstimatorKind::ALL {
+            let mut singles = build_estimator(kind, &config());
+            let mut batched = build_estimator(kind, &config());
+            for o in &objects {
+                singles.insert(o);
+            }
+            for chunk in chunked(&objects, &sizes) {
+                batched.insert_batch(chunk);
+            }
+            assert_estimate_equivalent(kind, singles.as_ref(), batched.as_ref());
+        }
+    }
+
+    #[test]
+    fn remove_batch_matches_one_at_a_time(
+        objects in arb_objects(120),
+        sizes in proptest::collection::vec(1usize..24, 1..6),
+        drop_half in proptest::bool::ANY,
+    ) {
+        let cut = if drop_half { objects.len() / 2 } else { objects.len() };
+        for kind in EstimatorKind::ALL {
+            let mut singles = build_estimator(kind, &config());
+            let mut batched = build_estimator(kind, &config());
+            // Identical builds (same seed, same order) …
+            singles.insert_batch(&objects);
+            batched.insert_batch(&objects);
+            // … then remove the prefix singly on one and batched on the
+            // other.
+            for o in &objects[..cut] {
+                singles.remove(o);
+            }
+            for chunk in chunked(&objects[..cut], &sizes) {
+                batched.remove_batch(chunk);
+            }
+            assert_estimate_equivalent(kind, singles.as_ref(), batched.as_ref());
+        }
+    }
+}

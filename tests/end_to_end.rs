@@ -34,7 +34,10 @@ fn full_lifecycle_reaches_incremental_phase() {
         latest.ingest(gen.next_object());
     }
     assert_eq!(latest.phase(), PhaseTag::PreTraining);
-    assert!(latest.window_len() > 1_000, "window too small after warm-up");
+    assert!(
+        latest.window_len() > 1_000,
+        "window too small after warm-up"
+    );
     let mut rng = StdRng::seed_from_u64(1);
     for i in 0..40u32 {
         for _ in 0..10 {
@@ -83,9 +86,7 @@ fn keyword_flood_forces_histogram_abandonment() {
         }
         let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..30))]);
         latest.query(&q, gen.clock());
-        if latest.phase() == PhaseTag::Incremental
-            && latest.active_kind() != EstimatorKind::H4096
-        {
+        if latest.phase() == PhaseTag::Incremental && latest.active_kind() != EstimatorKind::H4096 {
             break;
         }
     }

@@ -81,7 +81,10 @@ fn estimates_are_finite_and_non_negative() {
         let (est, _) = churn(kind, 4_000, 2_500);
         for q in &queries {
             let e = est.estimate(q);
-            assert!(e.is_finite() && e >= 0.0, "{kind}: bad estimate {e} for {q:?}");
+            assert!(
+                e.is_finite() && e >= 0.0,
+                "{kind}: bad estimate {e} for {q:?}"
+            );
         }
     }
 }
@@ -93,11 +96,7 @@ fn structure_estimators_beat_trivial_baselines() {
     let dataset = DatasetSpec::twitter();
     let mut rng = StdRng::seed_from_u64(13);
     let queries = sample_queries(&mut rng, &dataset.domain, 90);
-    for kind in [
-        EstimatorKind::Rsl,
-        EstimatorKind::Rsh,
-        EstimatorKind::Aasp,
-    ] {
+    for kind in [EstimatorKind::Rsl, EstimatorKind::Rsh, EstimatorKind::Aasp] {
         let (est, exact) = churn(kind, 6_000, 4_000);
         let (mut est_acc, mut zero_acc) = (0.0, 0.0);
         for q in &queries {
@@ -180,7 +179,11 @@ fn exact_backends_agree_under_churn() {
     }
     let mut rng = StdRng::seed_from_u64(17);
     for q in sample_queries(&mut rng, &dataset.domain, 60) {
-        assert_eq!(grid.execute(&q), quad.execute(&q), "backends disagree on {q:?}");
+        assert_eq!(
+            grid.execute(&q),
+            quad.execute(&q),
+            "backends disagree on {q:?}"
+        );
     }
     assert_eq!(grid.len(), quad.len());
 }

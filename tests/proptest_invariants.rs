@@ -22,9 +22,8 @@ fn arb_point() -> impl Strategy<Value = Point> {
 }
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (0.0..90.0f64, 0.0..90.0f64, 0.5..40.0f64, 0.5..40.0f64).prop_map(|(x, y, w, h)| {
-        Rect::new(x, y, (x + w).min(100.0), (y + h).min(100.0))
-    })
+    (0.0..90.0f64, 0.0..90.0f64, 0.5..40.0f64, 0.5..40.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, (x + w).min(100.0), (y + h).min(100.0)))
 }
 
 fn arb_object(id: u64) -> impl Strategy<Value = GeoTextObject> {
@@ -63,9 +62,8 @@ fn arb_query() -> impl Strategy<Value = RcDvq> {
         arb_rect().prop_map(RcDvq::spatial),
         proptest::collection::vec(0u32..30, 1..4)
             .prop_map(|k| RcDvq::keyword(k.into_iter().map(KeywordId).collect())),
-        (arb_rect(), proptest::collection::vec(0u32..30, 1..4)).prop_map(|(r, k)| {
-            RcDvq::hybrid(r, k.into_iter().map(KeywordId).collect())
-        }),
+        (arb_rect(), proptest::collection::vec(0u32..30, 1..4))
+            .prop_map(|(r, k)| { RcDvq::hybrid(r, k.into_iter().map(KeywordId).collect()) }),
     ]
 }
 
