@@ -1,0 +1,103 @@
+//! Hot-path microbenchmarks of the exact executor — the "system logs"
+//! substrate every window insert/evict and pre-training query hits.
+//!
+//! Two axes, per spatial backend:
+//!
+//! * **ingest churn** — a sliding-window replay (insert + evict once the
+//!   window is full), the cost Table I charges to index maintenance;
+//! * **count latency** — exact RC-DVQ execution per query type, including
+//!   multi-keyword and hybrid shapes where posting-list handling and
+//!   access-path choice dominate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exactdb::{ExactExecutor, SpatialIndexKind};
+use geostream::synth::DatasetSpec;
+use geostream::{GeoTextObject, KeywordId, RcDvq, Rect};
+
+/// Live window size during the churn replay.
+const WINDOW: usize = 20_000;
+/// Total objects replayed (so `STREAM - WINDOW` evictions happen).
+const STREAM: usize = 30_000;
+
+const BACKENDS: [SpatialIndexKind; 3] = [
+    SpatialIndexKind::Grid,
+    SpatialIndexKind::Quadtree,
+    SpatialIndexKind::RTree,
+];
+
+fn stream_objects() -> Vec<GeoTextObject> {
+    DatasetSpec::twitter().generator().take(STREAM).collect()
+}
+
+/// The query shapes measured per backend: label + query.
+fn query_set(dataset: &DatasetSpec) -> Vec<(&'static str, RcDvq)> {
+    let center = dataset.spatial_model().hotspots()[0].center;
+    let rect = Rect::centered_clamped(center, 2.0, 1.5, &dataset.domain);
+    let small = Rect::centered_clamped(center, 0.4, 0.3, &dataset.domain);
+    vec![
+        ("spatial", RcDvq::spatial(rect)),
+        ("keyword1", RcDvq::keyword(vec![KeywordId(3)])),
+        (
+            "keyword3",
+            RcDvq::keyword(vec![KeywordId(3), KeywordId(11), KeywordId(19)]),
+        ),
+        ("hybrid1", RcDvq::hybrid(rect, vec![KeywordId(3)])),
+        (
+            "hybrid3",
+            RcDvq::hybrid(rect, vec![KeywordId(3), KeywordId(11), KeywordId(19)]),
+        ),
+        (
+            "hybrid_small",
+            RcDvq::hybrid(small, vec![KeywordId(3), KeywordId(11), KeywordId(19)]),
+        ),
+    ]
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let dataset = DatasetSpec::twitter();
+    let objects = stream_objects();
+    let mut group = c.benchmark_group("exactdb_ingest");
+    group.sample_size(10);
+    for kind in BACKENDS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut ex = ExactExecutor::new(dataset.domain, kind);
+                    for (i, o) in objects.iter().enumerate() {
+                        ex.insert(o);
+                        if i >= WINDOW {
+                            ex.remove(&objects[i - WINDOW]);
+                        }
+                    }
+                    ex.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_counts(c: &mut Criterion) {
+    let dataset = DatasetSpec::twitter();
+    let objects = stream_objects();
+    let queries = query_set(&dataset);
+    for kind in BACKENDS {
+        let mut ex = ExactExecutor::new(dataset.domain, kind);
+        for o in &objects {
+            ex.insert(o);
+        }
+        let mut group = c.benchmark_group(format!("exactdb_count_{}", kind.name()));
+        group.sample_size(300);
+        for (label, q) in &queries {
+            group.bench_with_input(BenchmarkId::from_parameter(label), q, |b, q| {
+                b.iter(|| std::hint::black_box(ex.execute(q)));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ingest, bench_counts);
+criterion_main!(benches);

@@ -15,10 +15,12 @@ use latest_bench::experiments::{run_by_name, Scale, ALL_EXPERIMENTS};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default();
+    let mut bench_json = false;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--bench-json" => bench_json = true,
             "--scale" => {
                 i += 1;
                 let v = args
@@ -44,6 +46,18 @@ fn main() {
         }
         i += 1;
     }
+    if bench_json {
+        // Machine-readable exactdb hot-path run: print the table, write
+        // the JSON next to the working directory for CI/docs to diff.
+        let report = latest_bench::exact_bench::run(scale);
+        print!("{}", report.render_text());
+        let path = "BENCH_exactdb.json";
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote {path}");
+        return;
+    }
     if targets.is_empty() {
         print_usage();
         std::process::exit(2);
@@ -68,7 +82,7 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <id>... [--scale F]\n       experiments all [--scale F]\n       experiments --list"
+        "usage: experiments <id>... [--scale F]\n       experiments all [--scale F]\n       experiments --bench-json [--scale F]\n       experiments --list"
     );
 }
 

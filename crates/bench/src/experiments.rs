@@ -506,6 +506,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig13",
     "model-convergence",
     "ablation",
+    "exactdb-bench",
 ];
 
 /// Runs one experiment by id.
@@ -526,6 +527,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<String> {
         "table2" => table2(scale),
         "model-convergence" => model_convergence(scale),
         "ablation" => ablation(scale),
+        "exactdb-bench" => crate::exact_bench::run(scale).render_text(),
         _ => return None,
     })
 }
@@ -552,7 +554,7 @@ mod tests {
     #[test]
     fn run_by_name_dispatch() {
         assert!(run_by_name("unknown", Scale::default()).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 15);
+        assert_eq!(ALL_EXPERIMENTS.len(), 16);
     }
 
     #[test]

@@ -286,6 +286,12 @@ impl Latest {
         self.window.len()
     }
 
+    /// How the exact executor's access-path planner has routed the
+    /// ground-truth queries so far (spatial index vs. inverted index).
+    pub fn executor_path_mix(&self) -> exactdb::PathMix {
+        self.executor.path_mix()
+    }
+
     /// Current stream time.
     pub fn now(&self) -> Timestamp {
         self.window.now()
@@ -318,12 +324,8 @@ impl Latest {
         // workers run (split borrows: executor vs. phase).
         let executor = &mut self.executor;
         let mut upkeep = || {
-            for obj in batch {
-                executor.insert(obj);
-            }
-            for gone in &evicted {
-                executor.remove(gone);
-            }
+            executor.insert_batch(batch);
+            executor.remove_batch(&evicted);
         };
         match &mut self.phase {
             Phase::WarmUp { pool } | Phase::PreTraining { pool } => {
@@ -392,9 +394,7 @@ impl Latest {
                     shadow.remove_batch(&evicted);
                 }
             }
-            for gone in &evicted {
-                self.executor.remove(gone);
-            }
+            self.executor.remove_batch(&evicted);
         }
         self.evict_buf = evicted;
 
@@ -848,6 +848,8 @@ mod tests {
         assert!(log.incremental_queries() > 0);
         let acc = log.mean_incremental_accuracy().unwrap();
         assert!(acc > 0.3, "incremental accuracy too low: {acc}");
+        // Every query ran once through the exact executor's planner.
+        assert_eq!(latest.executor_path_mix().total(), 60);
     }
 
     #[test]

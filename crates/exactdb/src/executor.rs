@@ -1,11 +1,20 @@
 //! The exact executor — LATEST's "system logs" source and Table I's
 //! full-index comparison point.
+//!
+//! The executor owns the shared [`ObjectStore`] and threads it through
+//! every index update and query. Hybrid queries are routed by a
+//! cost-based planner: the inverted path is priced at its live posting
+//! mass, the spatial path at the candidate population of the cells or
+//! subtrees the range touches, and the cheaper one runs. Per-path hit
+//! counters expose the resulting path mix for the bench harness.
 
 use crate::grid::GridIndex;
 use crate::inverted::InvertedIndex;
 use crate::quad::QuadtreeIndex;
 use crate::rtree::RTreeIndex;
-use geostream::{GeoTextObject, QueryType, RcDvq, Rect};
+use crate::store::{ObjectStore, SlotId};
+use geostream::{GeoTextObject, ObjectId, QueryType, RcDvq, Rect};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which spatial backend the executor runs on (the two index families
 /// compared in Table I).
@@ -27,25 +36,95 @@ impl SpatialIndexKind {
     }
 }
 
+/// The access path the planner picked for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Walk the spatial index and verify predicates per candidate.
+    Spatial,
+    /// Merge the keywords' posting lists and verify the range per slot.
+    Inverted,
+}
+
+/// Snapshot of the per-path hit counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathMix {
+    /// Queries answered through the spatial backend.
+    pub spatial: u64,
+    /// Queries answered through the inverted index.
+    pub inverted: u64,
+}
+
+impl PathMix {
+    /// Total queries executed.
+    pub fn total(&self) -> u64 {
+        self.spatial + self.inverted
+    }
+}
+
 enum Backend {
     Grid(GridIndex),
     Quad(QuadtreeIndex),
     RTree(RTreeIndex),
 }
 
+impl Backend {
+    fn insert(&mut self, slot: SlotId, store: &ObjectStore) {
+        match self {
+            Backend::Grid(g) => g.insert(slot, store),
+            Backend::Quad(q) => q.insert(slot, store),
+            Backend::RTree(r) => r.insert(slot, store),
+        }
+    }
+
+    fn remove(&mut self, slot: SlotId, store: &ObjectStore) -> bool {
+        match self {
+            Backend::Grid(g) => g.remove(slot),
+            Backend::Quad(q) => q.remove(slot),
+            Backend::RTree(r) => r.remove(slot, store),
+        }
+    }
+
+    fn count(&self, query: &RcDvq, store: &ObjectStore) -> u64 {
+        match self {
+            Backend::Grid(g) => g.count(query, store),
+            Backend::Quad(q) => q.count(query, store),
+            Backend::RTree(r) => r.count(query, store),
+        }
+    }
+
+    fn candidate_count(&self, r: &Rect) -> u64 {
+        match self {
+            Backend::Grid(g) => g.candidate_count(r),
+            Backend::Quad(q) => q.candidate_count(r),
+            Backend::RTree(r_) => r_.candidate_count(r),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Backend::Grid(g) => g.clear(),
+            Backend::Quad(q) => q.clear(),
+            Backend::RTree(r) => r.clear(),
+        }
+    }
+}
+
 /// Exact RC-DVQ execution over the live window.
 ///
-/// Maintains one spatial index (grid or quadtree) plus an inverted keyword
-/// index, and routes each query to the best access path:
+/// Owns the shared [`ObjectStore`] plus one spatial index and the
+/// inverted keyword index (both slot-based), and routes each query to
+/// the cheaper access path:
 ///
 /// * pure spatial → spatial index;
 /// * pure keyword → inverted index;
-/// * hybrid → inverted index when the keyword predicate is available
-///   (posting lists are usually the sharper filter), spatial otherwise.
+/// * hybrid → whichever path the cost model prices lower (live posting
+///   mass vs. spatial candidate population).
 pub struct ExactExecutor {
+    store: ObjectStore,
     backend: Backend,
     inverted: InvertedIndex,
-    len: usize,
+    spatial_hits: AtomicU64,
+    inverted_hits: AtomicU64,
 }
 
 /// Grid cells per axis for the grid backend (matches the estimator-side
@@ -67,9 +146,11 @@ impl ExactExecutor {
             SpatialIndexKind::RTree => Backend::RTree(RTreeIndex::new()),
         };
         ExactExecutor {
+            store: ObjectStore::new(),
             backend,
             inverted: InvertedIndex::new(),
-            len: 0,
+            spatial_hits: AtomicU64::new(0),
+            inverted_hits: AtomicU64::new(0),
         }
     }
 
@@ -82,50 +163,112 @@ impl ExactExecutor {
         }
     }
 
-    /// Number of indexed window objects.
+    /// Number of indexed window objects (the store's live population —
+    /// the single source of truth; indexes cannot drift from it).
     pub fn len(&self) -> usize {
-        self.len
+        self.store.len()
     }
 
     /// Whether the executor holds no objects.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.store.is_empty()
     }
 
-    /// Indexes an arriving window object.
+    /// Read access to the shared store (tests, estimator training taps).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Posting-list compactions performed so far (bench diagnostics).
+    pub fn compactions(&self) -> u64 {
+        self.inverted.compactions()
+    }
+
+    /// Indexes an arriving window object. A live object with the same id
+    /// is replaced.
     pub fn insert(&mut self, obj: &GeoTextObject) {
-        match &mut self.backend {
-            Backend::Grid(g) => g.insert(obj),
-            Backend::Quad(q) => q.insert(obj),
-            Backend::RTree(r) => r.insert(obj),
+        if self.store.contains(obj.oid) {
+            self.remove_by_oid(obj.oid);
         }
-        self.inverted.insert(obj);
-        self.len += 1;
+        let slot = self.store.insert(obj.clone());
+        self.backend.insert(slot, &self.store);
+        self.inverted.insert(slot, &self.store);
+    }
+
+    /// Indexes a batch of arriving objects (one pass, amortizing the
+    /// per-call dispatch for ingest-heavy upkeep).
+    pub fn insert_batch(&mut self, objs: &[GeoTextObject]) {
+        for obj in objs {
+            self.insert(obj);
+        }
     }
 
     /// Drops an evicted window object.
     pub fn remove(&mut self, obj: &GeoTextObject) {
-        let removed = match &mut self.backend {
-            Backend::Grid(g) => g.remove(obj.oid),
-            Backend::Quad(q) => q.remove(obj.oid, &obj.loc),
-            Backend::RTree(r) => r.remove(obj.oid),
+        self.remove_by_oid(obj.oid);
+    }
+
+    /// Drops a batch of evicted objects.
+    pub fn remove_batch(&mut self, objs: &[GeoTextObject]) {
+        for obj in objs {
+            self.remove_by_oid(obj.oid);
+        }
+    }
+
+    /// Drops an evicted object by id. Returns whether it was present.
+    ///
+    /// Removal goes through the store first (it owns liveness), then the
+    /// spatial backend, then the inverted index's lazy tombstones — so
+    /// either every structure drops the object or none does, and the
+    /// spatial and inverted sides can no longer drift apart.
+    pub fn remove_by_oid(&mut self, oid: ObjectId) -> bool {
+        let Some((slot, obj)) = self.store.remove(oid) else {
+            return false;
         };
-        self.inverted.remove(obj.oid);
-        if removed {
-            self.len -= 1;
+        let spatial_removed = self.backend.remove(slot, &self.store);
+        debug_assert!(
+            spatial_removed,
+            "slot {slot} was live in the store but missing from the spatial index"
+        );
+        self.inverted.remove(&obj.keywords, &mut self.store);
+        true
+    }
+
+    /// The access path the planner would pick for `query`, by comparing
+    /// the live posting mass of its keywords against the candidate
+    /// population of the cells/subtrees its range touches.
+    pub fn plan(&self, query: &RcDvq) -> AccessPath {
+        match query.query_type() {
+            QueryType::Spatial => AccessPath::Spatial,
+            QueryType::Keyword => AccessPath::Inverted,
+            QueryType::Hybrid => {
+                let inverted_cost = self.inverted.candidate_cost(query.keywords());
+                let spatial_cost = query
+                    .range()
+                    .map_or(u64::MAX, |r| self.backend.candidate_count(r));
+                if inverted_cost <= spatial_cost {
+                    AccessPath::Inverted
+                } else {
+                    AccessPath::Spatial
+                }
+            }
         }
     }
 
     /// Executes `query` exactly, returning the true selectivity — the
     /// number the paper reads out of the system logs.
     pub fn execute(&self, query: &RcDvq) -> u64 {
-        match query.query_type() {
-            QueryType::Spatial => match &self.backend {
-                Backend::Grid(g) => g.count(query),
-                Backend::Quad(q) => q.count(query),
-                Backend::RTree(r) => r.count(query),
-            },
-            QueryType::Keyword | QueryType::Hybrid => self.inverted.count(query),
+        match self.plan(query) {
+            AccessPath::Spatial => {
+                self.spatial_hits.fetch_add(1, Ordering::Relaxed);
+                self.backend.count(query, &self.store)
+            }
+            AccessPath::Inverted => {
+                self.inverted_hits.fetch_add(1, Ordering::Relaxed);
+                self.inverted
+                    .count(query, &self.store)
+                    .expect("planner only routes keyword-bearing queries here")
+            }
         }
     }
 
@@ -133,29 +276,36 @@ impl ExactExecutor {
     /// queries) — used by the Table I harness to price the spatial index's
     /// own access path.
     pub fn execute_spatial_path(&self, query: &RcDvq) -> u64 {
-        match &self.backend {
-            Backend::Grid(g) => g.count(query),
-            Backend::Quad(q) => q.count(query),
-            Backend::RTree(r) => r.count(query),
+        self.backend.count(query, &self.store)
+    }
+
+    /// Snapshot of how many queries each access path has served.
+    pub fn path_mix(&self) -> PathMix {
+        PathMix {
+            spatial: self.spatial_hits.load(Ordering::Relaxed),
+            inverted: self.inverted_hits.load(Ordering::Relaxed),
         }
     }
 
-    /// Clears all indexes.
+    /// Resets the path-mix counters (bench warmup isolation).
+    pub fn reset_path_mix(&self) {
+        self.spatial_hits.store(0, Ordering::Relaxed);
+        self.inverted_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Clears all indexes and the store.
     pub fn clear(&mut self) {
-        match &mut self.backend {
-            Backend::Grid(g) => g.clear(),
-            Backend::Quad(q) => q.clear(),
-            Backend::RTree(r) => r.clear(),
-        }
+        self.backend.clear();
         self.inverted.clear();
-        self.len = 0;
+        self.store.clear();
+        self.reset_path_mix();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geostream::{KeywordId, ObjectId, Point, Timestamp};
+    use geostream::{KeywordId, Point, Timestamp};
 
     const DOMAIN: Rect = Rect {
         min_x: 0.0,
@@ -257,6 +407,102 @@ mod tests {
             e.execute(&RcDvq::spatial(Rect::new(0.0, 0.0, 100.0, 100.0))),
             40
         );
+    }
+
+    #[test]
+    fn batch_ops_match_singles() {
+        let mut single = ExactExecutor::new(DOMAIN, SpatialIndexKind::RTree);
+        let mut batched = ExactExecutor::new(DOMAIN, SpatialIndexKind::RTree);
+        let objects: Vec<_> = (0..300u64)
+            .map(|i| obj(i, (i % 100) as f64, (i % 37) as f64, &[(i % 5) as u32]))
+            .collect();
+        for o in &objects {
+            single.insert(o);
+        }
+        batched.insert_batch(&objects);
+        for o in objects.iter().take(120) {
+            single.remove(o);
+        }
+        batched.remove_batch(&objects[..120]);
+        assert_eq!(single.len(), batched.len());
+        for q in [
+            RcDvq::spatial(Rect::new(0.0, 0.0, 50.0, 50.0)),
+            RcDvq::keyword(vec![KeywordId(2)]),
+            RcDvq::hybrid(Rect::new(10.0, 0.0, 80.0, 30.0), vec![KeywordId(1)]),
+        ] {
+            assert_eq!(single.execute(&q), batched.execute(&q));
+        }
+    }
+
+    #[test]
+    fn duplicate_oid_insert_replaces() {
+        let mut e = ExactExecutor::new(DOMAIN, SpatialIndexKind::Grid);
+        e.insert(&obj(7, 10.0, 10.0, &[1]));
+        e.insert(&obj(7, 90.0, 90.0, &[2]));
+        assert_eq!(e.len(), 1);
+        assert_eq!(
+            e.execute(&RcDvq::spatial(Rect::new(0.0, 0.0, 20.0, 20.0))),
+            0
+        );
+        assert_eq!(
+            e.execute(&RcDvq::spatial(Rect::new(80.0, 80.0, 100.0, 100.0))),
+            1
+        );
+        assert_eq!(e.execute(&RcDvq::keyword(vec![KeywordId(1)])), 0);
+        assert_eq!(e.execute(&RcDvq::keyword(vec![KeywordId(2)])), 1);
+    }
+
+    #[test]
+    fn removal_accounting_stays_consistent() {
+        // Regression: the pre-store executor decremented `len` only when
+        // the spatial side removed, while the inverted side removed
+        // unconditionally — the two could drift. Length now comes from
+        // the store, and a missing object is a clean no-op everywhere.
+        let mut e = ExactExecutor::new(DOMAIN, SpatialIndexKind::Grid);
+        let o = obj(1, 5.0, 5.0, &[3]);
+        e.insert(&o);
+        assert!(e.remove_by_oid(o.oid));
+        assert!(!e.remove_by_oid(o.oid), "second removal must be a no-op");
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.execute(&RcDvq::keyword(vec![KeywordId(3)])), 0);
+        // Removing something never inserted is also a clean no-op.
+        assert!(!e.remove_by_oid(ObjectId(999)));
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn planner_routes_by_cost() {
+        let mut e = ExactExecutor::new(DOMAIN, SpatialIndexKind::Grid);
+        // 500 objects with a hot keyword crammed into one corner cell,
+        // 5 objects with a rare keyword spread wide.
+        for i in 0..500u64 {
+            e.insert(&obj(i, 1.0, 1.0, &[0]));
+        }
+        for i in 500..505u64 {
+            e.insert(&obj(i, (i % 100) as f64, 50.0, &[9]));
+        }
+        // Rare keyword over a huge range: posting list (5) beats the
+        // spatial candidates (~505).
+        let rare = RcDvq::hybrid(Rect::new(0.0, 0.0, 100.0, 100.0), vec![KeywordId(9)]);
+        assert_eq!(e.plan(&rare), AccessPath::Inverted);
+        // Hot keyword over a tiny range away from the cluster: the range
+        // touches almost nothing, the posting list holds 500.
+        let hot = RcDvq::hybrid(Rect::new(60.0, 60.0, 61.0, 61.0), vec![KeywordId(0)]);
+        assert_eq!(e.plan(&hot), AccessPath::Spatial);
+        // Both paths agree on the answer regardless of routing.
+        assert_eq!(e.execute(&rare), 5);
+        assert_eq!(e.execute(&hot), 0);
+        let mix = e.path_mix();
+        assert_eq!(
+            mix,
+            PathMix {
+                spatial: 1,
+                inverted: 1
+            }
+        );
+        assert_eq!(mix.total(), 2);
+        e.reset_path_mix();
+        assert_eq!(e.path_mix().total(), 0);
     }
 
     #[test]

@@ -1,19 +1,25 @@
-//! Full grid index: a regular spatial grid whose cells hold the actual
-//! window objects.
+//! Full grid index: a regular spatial grid whose cells hold slot ids into
+//! the shared [`ObjectStore`].
 
-use geostream::{GeoTextObject, ObjectId, Point, RcDvq, Rect};
-use std::collections::HashMap;
+use crate::store::{ObjectStore, SlotId};
+use geostream::{Point, RcDvq, Rect};
+
+/// Locator sentinel: slot not present in the grid.
+const NOWHERE: (u32, u32) = (u32::MAX, u32::MAX);
 
 /// A regular `side × side` grid over the domain, each cell holding the
-/// objects located inside it. Exact and update-cheap, but queries must
-/// touch every candidate object — the index overhead of Table I.
+/// slots of the objects located inside it. Exact and update-cheap, but
+/// queries must touch every candidate object — the index overhead of
+/// Table I.
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     domain: Rect,
     side: usize,
-    cells: Vec<Vec<GeoTextObject>>,
-    /// `oid → (cell, position within cell)` for O(1) removal.
-    locator: HashMap<ObjectId, (usize, usize)>,
+    cells: Vec<Vec<SlotId>>,
+    /// `slot → (cell, position within cell)` for O(1) removal, indexed
+    /// densely by slot id.
+    locator: Vec<(u32, u32)>,
+    len: usize,
 }
 
 impl GridIndex {
@@ -24,18 +30,19 @@ impl GridIndex {
             domain,
             side,
             cells: vec![Vec::new(); side * side],
-            locator: HashMap::new(),
+            locator: Vec::new(),
+            len: 0,
         }
     }
 
     /// Number of indexed objects.
     pub fn len(&self) -> usize {
-        self.locator.len()
+        self.len
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.locator.is_empty()
+        self.len == 0
     }
 
     fn cell_of(&self, p: &Point) -> usize {
@@ -46,59 +53,71 @@ impl GridIndex {
         cy * self.side + cx
     }
 
-    /// Inserts an object. Re-inserting an oid replaces the previous entry.
-    pub fn insert(&mut self, obj: &GeoTextObject) {
-        if self.locator.contains_key(&obj.oid) {
-            self.remove(obj.oid);
+    #[inline]
+    fn locator_mut(&mut self, slot: SlotId) -> &mut (u32, u32) {
+        if slot as usize >= self.locator.len() {
+            self.locator.resize(slot as usize + 1, NOWHERE);
         }
-        let cell = self.cell_of(&obj.loc);
-        self.locator.insert(obj.oid, (cell, self.cells[cell].len()));
-        self.cells[cell].push(obj.clone());
+        &mut self.locator[slot as usize]
     }
 
-    /// Removes by object id. Returns whether anything was removed.
-    pub fn remove(&mut self, oid: ObjectId) -> bool {
-        let Some((cell, pos)) = self.locator.remove(&oid) else {
+    /// Indexes a live store slot. The slot must not already be present
+    /// (the executor removes first on oid replacement).
+    pub fn insert(&mut self, slot: SlotId, store: &ObjectStore) {
+        let cell = self.cell_of(&store.get(slot).loc);
+        let pos = self.cells[cell].len() as u32;
+        self.cells[cell].push(slot);
+        *self.locator_mut(slot) = (cell as u32, pos);
+        self.len += 1;
+    }
+
+    /// Removes a slot. Returns whether anything was removed.
+    pub fn remove(&mut self, slot: SlotId) -> bool {
+        let Some(&(cell, pos)) = self.locator.get(slot as usize) else {
             return false;
         };
-        let bucket = &mut self.cells[cell];
-        bucket.swap_remove(pos);
-        if pos < bucket.len() {
-            self.locator.insert(bucket[pos].oid, (cell, pos));
+        if (cell, pos) == NOWHERE {
+            return false;
         }
+        self.locator[slot as usize] = NOWHERE;
+        let bucket = &mut self.cells[cell as usize];
+        bucket.swap_remove(pos as usize);
+        if (pos as usize) < bucket.len() {
+            self.locator[bucket[pos as usize] as usize] = (cell, pos);
+        }
+        self.len -= 1;
         true
     }
 
     /// Exact count of indexed objects matching `query` (predicate checks
-    /// against every object in candidate cells).
-    pub fn count(&self, query: &RcDvq) -> u64 {
+    /// against every object in candidate cells, read from the store).
+    pub fn count(&self, query: &RcDvq, store: &ObjectStore) -> u64 {
         match query.range() {
             Some(r) => self
                 .candidate_cells(r)
-                .map(|cell| self.cells[cell].iter().filter(|o| query.matches(o)).count() as u64)
+                .map(|cell| {
+                    self.cells[cell]
+                        .iter()
+                        .filter(|&&s| query.matches(store.get(s)))
+                        .count() as u64
+                })
                 .sum(),
             None => self
                 .cells
                 .iter()
                 .flatten()
-                .filter(|o| query.matches(o))
+                .filter(|&&s| query.matches(store.get(s)))
                 .count() as u64,
         }
     }
 
-    /// Collects matching objects (used by tests and the executor's scan
-    /// fallback).
-    pub fn collect<'a>(&'a self, query: &'a RcDvq) -> Vec<&'a GeoTextObject> {
-        let mut out = Vec::new();
-        match query.range() {
-            Some(r) => {
-                for cell in self.candidate_cells(r) {
-                    out.extend(self.cells[cell].iter().filter(|o| query.matches(o)));
-                }
-            }
-            None => out.extend(self.cells.iter().flatten().filter(|o| query.matches(o))),
-        }
-        out
+    /// Candidate-set size of the spatial access path for `r`: the number
+    /// of objects in the cells the range touches (the planner's cost for
+    /// this backend; O(cells), no object reads).
+    pub fn candidate_count(&self, r: &Rect) -> u64 {
+        self.candidate_cells(r)
+            .map(|cell| self.cells[cell].len() as u64)
+            .sum()
     }
 
     fn candidate_cells(&self, r: &Rect) -> impl Iterator<Item = usize> + '_ {
@@ -130,13 +149,14 @@ impl GridIndex {
     pub fn clear(&mut self) {
         self.cells.iter_mut().for_each(Vec::clear);
         self.locator.clear();
+        self.len = 0;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geostream::{KeywordId, Timestamp};
+    use geostream::{GeoTextObject, KeywordId, ObjectId, Timestamp};
 
     const DOMAIN: Rect = Rect {
         min_x: 0.0,
@@ -154,88 +174,103 @@ mod tests {
         )
     }
 
+    fn insert(g: &mut GridIndex, store: &mut ObjectStore, o: GeoTextObject) -> SlotId {
+        let slot = store.insert(o);
+        g.insert(slot, store);
+        slot
+    }
+
     #[test]
     fn exact_spatial_count() {
+        let mut store = ObjectStore::new();
         let mut g = GridIndex::new(DOMAIN, 8);
         for i in 0..20 {
-            g.insert(&obj(i, (i % 10) as f64 + 0.5, 0.5, &[]));
+            insert(&mut g, &mut store, obj(i, (i % 10) as f64 + 0.5, 0.5, &[]));
         }
         let q = RcDvq::spatial(Rect::new(0.0, 0.0, 4.9, 1.0));
-        assert_eq!(g.count(&q), 10); // x in {0.5..4.5} twice each
+        assert_eq!(g.count(&q, &store), 10); // x in {0.5..4.5} twice each
         assert_eq!(g.len(), 20);
     }
 
     #[test]
     fn exact_keyword_count() {
+        let mut store = ObjectStore::new();
         let mut g = GridIndex::new(DOMAIN, 4);
         for i in 0..30 {
-            g.insert(&obj(i, 1.0, 1.0, &[(i % 3) as u32]));
+            insert(&mut g, &mut store, obj(i, 1.0, 1.0, &[(i % 3) as u32]));
         }
         let q = RcDvq::keyword(vec![KeywordId(1)]);
-        assert_eq!(g.count(&q), 10);
+        assert_eq!(g.count(&q, &store), 10);
     }
 
     #[test]
     fn hybrid_count_checks_both() {
+        let mut store = ObjectStore::new();
         let mut g = GridIndex::new(DOMAIN, 4);
-        g.insert(&obj(1, 1.0, 1.0, &[7]));
-        g.insert(&obj(2, 1.0, 1.0, &[8]));
-        g.insert(&obj(3, 9.0, 9.0, &[7]));
+        insert(&mut g, &mut store, obj(1, 1.0, 1.0, &[7]));
+        insert(&mut g, &mut store, obj(2, 1.0, 1.0, &[8]));
+        insert(&mut g, &mut store, obj(3, 9.0, 9.0, &[7]));
         let q = RcDvq::hybrid(Rect::new(0.0, 0.0, 2.0, 2.0), vec![KeywordId(7)]);
-        assert_eq!(g.count(&q), 1);
-        assert_eq!(g.collect(&q).len(), 1);
+        assert_eq!(g.count(&q, &store), 1);
+        // The candidate cost covers everything in the touched cells.
+        assert_eq!(g.candidate_count(q.range().unwrap()), 2);
     }
 
     #[test]
     fn remove_works() {
+        let mut store = ObjectStore::new();
         let mut g = GridIndex::new(DOMAIN, 4);
-        let o = obj(1, 5.0, 5.0, &[]);
-        g.insert(&o);
-        g.insert(&obj(2, 5.0, 5.0, &[]));
-        assert!(g.remove(o.oid));
-        assert!(!g.remove(o.oid));
+        let a = insert(&mut g, &mut store, obj(1, 5.0, 5.0, &[]));
+        insert(&mut g, &mut store, obj(2, 5.0, 5.0, &[]));
+        assert!(g.remove(a));
+        assert!(!g.remove(a));
         assert_eq!(g.len(), 1);
+        store.remove(ObjectId(1));
         let q = RcDvq::spatial(Rect::new(4.0, 4.0, 6.0, 6.0));
-        assert_eq!(g.count(&q), 1);
-    }
-
-    #[test]
-    fn reinsert_replaces() {
-        let mut g = GridIndex::new(DOMAIN, 4);
-        g.insert(&obj(1, 1.0, 1.0, &[]));
-        g.insert(&obj(1, 9.0, 9.0, &[])); // same id, moved
-        assert_eq!(g.len(), 1);
-        assert_eq!(g.count(&RcDvq::spatial(Rect::new(0.0, 0.0, 2.0, 2.0))), 0);
-        assert_eq!(g.count(&RcDvq::spatial(Rect::new(8.0, 8.0, 10.0, 10.0))), 1);
+        assert_eq!(g.count(&q, &store), 1);
     }
 
     #[test]
     fn locator_consistent_under_churn() {
+        let mut store = ObjectStore::new();
         let mut g = GridIndex::new(DOMAIN, 8);
+        let mut slots = std::collections::HashMap::new();
         for i in 0..500u64 {
-            g.insert(&obj(i, (i % 10) as f64, ((i / 10) % 10) as f64, &[]));
+            let s = insert(
+                &mut g,
+                &mut store,
+                obj(i, (i % 10) as f64, ((i / 10) % 10) as f64, &[]),
+            );
+            slots.insert(i, s);
             if i >= 100 {
-                g.remove(ObjectId(i - 100));
+                let old = slots[&(i - 100)];
+                assert!(g.remove(old));
+                store.remove(ObjectId(i - 100));
             }
         }
         assert_eq!(g.len(), 100);
-        for (oid, &(cell, pos)) in &g.locator {
-            assert_eq!(g.cells[cell][pos].oid, *oid);
+        for (cell, bucket) in g.cells.iter().enumerate() {
+            for (pos, &slot) in bucket.iter().enumerate() {
+                assert_eq!(g.locator[slot as usize], (cell as u32, pos as u32));
+            }
         }
     }
 
     #[test]
     fn out_of_domain_query() {
+        let mut store = ObjectStore::new();
         let mut g = GridIndex::new(DOMAIN, 4);
-        g.insert(&obj(1, 5.0, 5.0, &[]));
+        insert(&mut g, &mut store, obj(1, 5.0, 5.0, &[]));
         let q = RcDvq::spatial(Rect::new(50.0, 50.0, 60.0, 60.0));
-        assert_eq!(g.count(&q), 0);
+        assert_eq!(g.count(&q, &store), 0);
+        assert_eq!(g.candidate_count(q.range().unwrap()), 0);
     }
 
     #[test]
     fn clear_empties() {
+        let mut store = ObjectStore::new();
         let mut g = GridIndex::new(DOMAIN, 4);
-        g.insert(&obj(1, 5.0, 5.0, &[]));
+        insert(&mut g, &mut store, obj(1, 5.0, 5.0, &[]));
         g.clear();
         assert!(g.is_empty());
     }

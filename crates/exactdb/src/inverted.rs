@@ -1,14 +1,52 @@
-//! Inverted keyword index: `keyword → postings of objects carrying it`.
+//! Inverted keyword index over store slots: `keyword → sorted posting
+//! list of slot ids`.
+//!
+//! Postings are plain sorted `Vec<SlotId>`s into the shared
+//! [`ObjectStore`] — no per-object clones, no hash sets. Removal is
+//! **lazy**: it only bumps a per-posting dead counter (the store's live
+//! bitmap is the truth), and a posting is compacted — dead entries
+//! filtered out, their slot references released back to the store — once
+//! a quarter of it is tombstones. Each compaction drops at least a
+//! quarter of the list, so the amortized cost per removal is O(1) and a
+//! posting never carries more than ~33% garbage.
+//!
+//! Multi-keyword counting runs a k-way merge over the sorted postings:
+//! duplicates collapse by slot order instead of through a per-query
+//! `HashSet`, and hybrid queries verify the spatial predicate by reading
+//! the shared store directly.
 
-use geostream::{GeoTextObject, KeywordId, ObjectId, RcDvq};
-use std::collections::{HashMap, HashSet};
+use crate::store::{ObjectStore, SlotId};
+use crate::NoKeywordPredicate;
+use geostream::{KeywordId, RcDvq};
+use std::collections::HashMap;
 
-/// An inverted index over object keywords, backed by an object store so
-/// hybrid queries can finish predicate evaluation on the posting lists.
+/// One keyword's posting list: ascending slot ids, `dead` of which are
+/// tombstones (slots no longer live in the store).
+#[derive(Debug, Clone, Default)]
+struct PostingList {
+    slots: Vec<SlotId>,
+    dead: u32,
+}
+
+impl PostingList {
+    #[inline]
+    fn live_len(&self) -> usize {
+        self.slots.len() - self.dead as usize
+    }
+
+    /// Tombstone threshold: compact once ≥ 25% of the list is dead.
+    #[inline]
+    fn needs_compaction(&self) -> bool {
+        self.dead as usize * 4 >= self.slots.len()
+    }
+}
+
+/// An inverted index over object keywords, addressing the shared store.
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    postings: HashMap<KeywordId, HashSet<ObjectId>>,
-    objects: HashMap<ObjectId, GeoTextObject>,
+    postings: HashMap<KeywordId, PostingList>,
+    /// Posting compactions performed (diagnostics / bench reporting).
+    compactions: u64,
 }
 
 impl InvertedIndex {
@@ -17,91 +55,140 @@ impl InvertedIndex {
         Self::default()
     }
 
-    /// Number of indexed objects.
-    pub fn len(&self) -> usize {
-        self.objects.len()
-    }
-
-    /// Whether the index is empty.
-    pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
-    }
-
-    /// Number of distinct keywords with non-empty postings.
+    /// Number of distinct keywords with live postings.
     pub fn distinct_keywords(&self) -> usize {
-        self.postings.len()
+        self.postings.values().filter(|p| p.live_len() > 0).count()
     }
 
-    /// Indexes an object under each of its keywords.
-    pub fn insert(&mut self, obj: &GeoTextObject) {
-        if self.objects.contains_key(&obj.oid) {
-            self.remove(obj.oid);
-        }
-        for &kw in obj.keywords.iter() {
-            self.postings.entry(kw).or_default().insert(obj.oid);
-        }
-        self.objects.insert(obj.oid, obj.clone());
+    /// Posting compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
-    /// Removes an object from all posting lists.
-    pub fn remove(&mut self, oid: ObjectId) -> bool {
-        let Some(obj) = self.objects.remove(&oid) else {
-            return false;
-        };
-        for &kw in obj.keywords.iter() {
-            if let Some(set) = self.postings.get_mut(&kw) {
-                set.remove(&oid);
-                if set.is_empty() {
+    /// Live posting-list size for one keyword.
+    pub fn postings_len(&self, kw: KeywordId) -> usize {
+        self.postings.get(&kw).map_or(0, PostingList::live_len)
+    }
+
+    /// Indexes a live slot under each of the object's keywords. The slot
+    /// must not already be present (the executor removes first on oid
+    /// replacement, and the store never re-issues a referenced slot).
+    pub fn insert(&mut self, slot: SlotId, store: &ObjectStore) {
+        for &kw in store.get(slot).keywords.iter() {
+            let posting = self.postings.entry(kw).or_default();
+            match posting.slots.binary_search(&slot) {
+                Ok(_) => debug_assert!(false, "slot already posted under {kw:?}"),
+                Err(pos) => posting.slots.insert(pos, slot),
+            }
+        }
+    }
+
+    /// Lazily removes a slot: each of the object's postings gains a
+    /// tombstone, and postings crossing the garbage threshold are
+    /// compacted (releasing their parked slot references to the store).
+    ///
+    /// Call **after** `store.remove` — the liveness bitmap drives both
+    /// tombstone filtering and compaction.
+    pub fn remove(&mut self, keywords: &[KeywordId], store: &mut ObjectStore) {
+        for &kw in keywords {
+            let Some(posting) = self.postings.get_mut(&kw) else {
+                debug_assert!(false, "removing a slot that was never posted");
+                continue;
+            };
+            posting.dead += 1;
+            if posting.needs_compaction() {
+                posting.slots.retain(|&s| {
+                    let keep = store.is_live(s);
+                    if !keep {
+                        store.release_ref(s);
+                    }
+                    keep
+                });
+                posting.dead = 0;
+                self.compactions += 1;
+                if posting.slots.is_empty() {
                     self.postings.remove(&kw);
                 }
             }
         }
-        true
     }
 
-    /// Posting-list size for one keyword.
-    pub fn postings_len(&self, kw: KeywordId) -> usize {
-        self.postings.get(&kw).map_or(0, HashSet::len)
+    /// Candidate cost of the inverted access path for these keywords: the
+    /// number of posting entries a count would have to merge.
+    pub fn candidate_cost(&self, keywords: &[KeywordId]) -> u64 {
+        keywords
+            .iter()
+            .map(|kw| self.postings.get(kw).map_or(0, |p| p.live_len() as u64))
+            .sum()
     }
 
     /// Exact count of objects matching `query`, using the union of the
     /// query keywords' posting lists as the access path (the spatial
-    /// predicate, if any, is verified on the stored objects).
+    /// predicate, if any, is verified against the shared store).
     ///
-    /// # Panics
-    /// Panics if the query has no keyword predicate — the inverted index
-    /// has no access path for pure spatial queries.
-    pub fn count(&self, query: &RcDvq) -> u64 {
+    /// Returns [`NoKeywordPredicate`] for queries without keywords — the
+    /// inverted index has no access path for pure spatial queries.
+    pub fn count(&self, query: &RcDvq, store: &ObjectStore) -> Result<u64, NoKeywordPredicate> {
         let kws = query.keywords();
-        assert!(!kws.is_empty(), "inverted index needs a keyword predicate");
-        let mut seen: HashSet<ObjectId> = HashSet::new();
+        if kws.is_empty() {
+            return Err(NoKeywordPredicate);
+        }
+        let range = query.range();
+        if let [kw] = kws {
+            // Single-keyword fast path: no merge needed, and without a
+            // spatial predicate the live length *is* the answer.
+            let Some(posting) = self.postings.get(kw) else {
+                return Ok(0);
+            };
+            return Ok(match range {
+                None => posting.live_len() as u64,
+                Some(r) => posting
+                    .slots
+                    .iter()
+                    .filter(|&&s| store.is_live(s) && r.contains(&store.get(s).loc))
+                    .count() as u64,
+            });
+        }
+        // K-way merge over the sorted postings: duplicates collapse by
+        // advancing every cursor sitting on the minimum slot.
+        let lists: Vec<&[SlotId]> = kws
+            .iter()
+            .filter_map(|kw| self.postings.get(kw))
+            .map(|p| p.slots.as_slice())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut cursors = vec![0usize; lists.len()];
         let mut count = 0u64;
-        for &kw in kws {
-            if let Some(posting) = self.postings.get(&kw) {
-                for &oid in posting {
-                    if seen.insert(oid) {
-                        let obj = &self.objects[&oid];
-                        if query.range().is_none_or(|r| r.contains(&obj.loc)) {
-                            count += 1;
-                        }
-                    }
+        loop {
+            let mut min: Option<SlotId> = None;
+            for (list, &cursor) in lists.iter().zip(&cursors) {
+                if let Some(&slot) = list.get(cursor) {
+                    min = Some(min.map_or(slot, |m: SlotId| m.min(slot)));
                 }
             }
+            let Some(slot) = min else { break };
+            for (list, cursor) in lists.iter().zip(&mut cursors) {
+                if list.get(*cursor) == Some(&slot) {
+                    *cursor += 1;
+                }
+            }
+            if store.is_live(slot) && range.is_none_or(|r| r.contains(&store.get(slot).loc)) {
+                count += 1;
+            }
         }
-        count
+        Ok(count)
     }
 
     /// Clears the index.
     pub fn clear(&mut self) {
         self.postings.clear();
-        self.objects.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geostream::{Point, Rect, Timestamp};
+    use geostream::{GeoTextObject, ObjectId, Point, Rect, Timestamp};
 
     fn obj(id: u64, x: f64, kws: &[u32]) -> GeoTextObject {
         GeoTextObject::new(
@@ -112,68 +199,120 @@ mod tests {
         )
     }
 
+    fn insert(idx: &mut InvertedIndex, store: &mut ObjectStore, o: GeoTextObject) -> SlotId {
+        let slot = store.insert(o);
+        idx.insert(slot, store);
+        slot
+    }
+
+    fn remove(idx: &mut InvertedIndex, store: &mut ObjectStore, id: u64) {
+        let (_, o) = store.remove(ObjectId(id)).expect("present");
+        idx.remove(&o.keywords, store);
+    }
+
     #[test]
     fn counts_union_of_postings() {
+        let mut store = ObjectStore::new();
         let mut idx = InvertedIndex::new();
-        idx.insert(&obj(1, 0.0, &[1, 2]));
-        idx.insert(&obj(2, 0.0, &[2]));
-        idx.insert(&obj(3, 0.0, &[3]));
+        insert(&mut idx, &mut store, obj(1, 0.0, &[1, 2]));
+        insert(&mut idx, &mut store, obj(2, 0.0, &[2]));
+        insert(&mut idx, &mut store, obj(3, 0.0, &[3]));
         let q = RcDvq::keyword(vec![KeywordId(1), KeywordId(2)]);
         // Object 1 matches both keywords but counts once.
-        assert_eq!(idx.count(&q), 2);
+        assert_eq!(idx.count(&q, &store).unwrap(), 2);
         assert_eq!(idx.postings_len(KeywordId(2)), 2);
         assert_eq!(idx.distinct_keywords(), 3);
+        assert_eq!(idx.candidate_cost(q.keywords()), 3);
     }
 
     #[test]
     fn hybrid_checks_spatial_predicate() {
+        let mut store = ObjectStore::new();
         let mut idx = InvertedIndex::new();
-        idx.insert(&obj(1, 1.0, &[7]));
-        idx.insert(&obj(2, 50.0, &[7]));
+        insert(&mut idx, &mut store, obj(1, 1.0, &[7]));
+        insert(&mut idx, &mut store, obj(2, 50.0, &[7]));
         let q = RcDvq::hybrid(Rect::new(0.0, -1.0, 10.0, 1.0), vec![KeywordId(7)]);
-        assert_eq!(idx.count(&q), 1);
+        assert_eq!(idx.count(&q, &store).unwrap(), 1);
+        let q2 = RcDvq::hybrid(
+            Rect::new(0.0, -1.0, 10.0, 1.0),
+            vec![KeywordId(7), KeywordId(9)],
+        );
+        assert_eq!(idx.count(&q2, &store).unwrap(), 1);
     }
 
     #[test]
-    fn remove_cleans_postings() {
+    fn tombstones_hide_removed_objects() {
+        let mut store = ObjectStore::new();
         let mut idx = InvertedIndex::new();
-        idx.insert(&obj(1, 0.0, &[1]));
-        assert!(idx.remove(ObjectId(1)));
-        assert!(!idx.remove(ObjectId(1)));
+        for i in 0..10 {
+            insert(&mut idx, &mut store, obj(i, 0.0, &[1]));
+        }
+        remove(&mut idx, &mut store, 0);
+        remove(&mut idx, &mut store, 1);
+        // Lazy: tombstones only, but counts must not see the dead.
+        assert_eq!(idx.postings_len(KeywordId(1)), 8);
+        let q = RcDvq::keyword(vec![KeywordId(1)]);
+        assert_eq!(idx.count(&q, &store).unwrap(), 8);
+        let multi = RcDvq::keyword(vec![KeywordId(1), KeywordId(2)]);
+        assert_eq!(idx.count(&multi, &store).unwrap(), 8);
+    }
+
+    #[test]
+    fn compaction_releases_slots_for_reuse() {
+        let mut store = ObjectStore::new();
+        let mut idx = InvertedIndex::new();
+        for i in 0..8 {
+            insert(&mut idx, &mut store, obj(i, 0.0, &[1]));
+        }
+        // Remove enough to cross the 25% threshold.
+        remove(&mut idx, &mut store, 0);
+        remove(&mut idx, &mut store, 1);
+        assert!(idx.compactions() >= 1, "threshold crossed, no compaction");
+        // Compaction released the refs: the freed slots recycle.
+        let reused = store.insert(obj(100, 0.0, &[]));
+        assert!(reused < 8, "slot {reused} should come from the free list");
+        let q = RcDvq::keyword(vec![KeywordId(1)]);
+        assert_eq!(idx.count(&q, &store).unwrap(), 6);
+    }
+
+    #[test]
+    fn singleton_posting_compacts_away() {
+        let mut store = ObjectStore::new();
+        let mut idx = InvertedIndex::new();
+        insert(&mut idx, &mut store, obj(1, 0.0, &[42]));
+        remove(&mut idx, &mut store, 1);
         assert_eq!(idx.distinct_keywords(), 0);
-        assert!(idx.is_empty());
+        assert_eq!(idx.postings_len(KeywordId(42)), 0);
+        // The slot fully recycles — no leak from rare keywords.
+        let reused = store.insert(obj(2, 0.0, &[]));
+        assert_eq!(reused, 0);
     }
 
     #[test]
-    fn reinsert_replaces() {
-        let mut idx = InvertedIndex::new();
-        idx.insert(&obj(1, 0.0, &[1]));
-        idx.insert(&obj(1, 0.0, &[2]));
-        assert_eq!(idx.len(), 1);
-        assert_eq!(idx.postings_len(KeywordId(1)), 0);
-        assert_eq!(idx.postings_len(KeywordId(2)), 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "keyword predicate")]
-    fn pure_spatial_rejected() {
+    fn pure_spatial_is_a_typed_error() {
+        let store = ObjectStore::new();
         let idx = InvertedIndex::new();
-        let _ = idx.count(&RcDvq::spatial(Rect::new(0.0, 0.0, 1.0, 1.0)));
+        let q = RcDvq::spatial(Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(idx.count(&q, &store), Err(NoKeywordPredicate));
     }
 
     #[test]
     fn missing_keyword_counts_zero() {
+        let mut store = ObjectStore::new();
         let mut idx = InvertedIndex::new();
-        idx.insert(&obj(1, 0.0, &[1]));
-        assert_eq!(idx.count(&RcDvq::keyword(vec![KeywordId(99)])), 0);
+        insert(&mut idx, &mut store, obj(1, 0.0, &[1]));
+        let q = RcDvq::keyword(vec![KeywordId(99)]);
+        assert_eq!(idx.count(&q, &store).unwrap(), 0);
     }
 
     #[test]
     fn clear_resets() {
+        let mut store = ObjectStore::new();
         let mut idx = InvertedIndex::new();
-        idx.insert(&obj(1, 0.0, &[1]));
+        insert(&mut idx, &mut store, obj(1, 0.0, &[1]));
         idx.clear();
-        assert!(idx.is_empty());
         assert_eq!(idx.distinct_keywords(), 0);
+        let q = RcDvq::keyword(vec![KeywordId(1)]);
+        assert_eq!(idx.count(&q, &store).unwrap(), 0);
     }
 }

@@ -6,17 +6,41 @@
 //! (paper §V-D). This crate is that ground-truth substrate: full indexes
 //! over the sliding window that answer RC-DVQ queries **exactly**.
 //!
-//! Two spatial backends are provided — a [`grid::GridIndex`] and a
-//! [`quad::QuadtreeIndex`] — plus an [`inverted::InvertedIndex`] over
-//! keywords. [`ExactExecutor`] combines a spatial backend with the inverted
-//! index and picks the cheaper access path per query. These are also the
-//! "Grid" and "QuadTree" index columns of the paper's Table I: exact
-//! indexes touch real objects, which is why they cost 15–16× an estimator.
+//! All live window objects are owned once, by the slot-based
+//! [`store::ObjectStore`]; the spatial backends ([`grid::GridIndex`],
+//! [`quad::QuadtreeIndex`], [`rtree::RTreeIndex`]) and the keyword-side
+//! [`inverted::InvertedIndex`] hold bare `u32` slot ids into it.
+//! [`ExactExecutor`] threads the store through every update and routes
+//! each query with a cost-based access-path planner (posting mass vs.
+//! spatial candidate count). These are also the "Grid" and "QuadTree"
+//! index columns of the paper's Table I: exact indexes touch real
+//! objects, which is why they cost 15–16× an estimator.
+
+use std::fmt;
 
 pub mod executor;
 pub mod grid;
 pub mod inverted;
 pub mod quad;
 pub mod rtree;
+pub mod store;
 
-pub use executor::{ExactExecutor, SpatialIndexKind};
+pub use executor::{AccessPath, ExactExecutor, PathMix, SpatialIndexKind};
+pub use store::{ObjectStore, SlotId};
+
+/// Error returned when the inverted index is asked to count a query with
+/// no keyword predicate — posting lists are its only access path, so a
+/// pure spatial query has nothing to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoKeywordPredicate;
+
+impl fmt::Display for NoKeywordPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query has no keyword predicate: the inverted index cannot serve it"
+        )
+    }
+}
+
+impl std::error::Error for NoKeywordPredicate {}

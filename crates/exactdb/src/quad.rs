@@ -1,29 +1,34 @@
-//! Full PR-quadtree index storing the actual window objects.
+//! Full PR-quadtree index whose leaf buckets hold slot ids into the
+//! shared [`ObjectStore`].
 
-use geostream::{GeoTextObject, ObjectId, Point, RcDvq, Rect};
-use std::collections::HashMap;
+use crate::store::{ObjectStore, SlotId};
+use geostream::{Point, RcDvq, Rect};
 
 type NodeId = u32;
+
+/// Locator sentinel: slot not present in the tree.
+const NOWHERE: NodeId = NodeId::MAX;
 
 #[derive(Debug, Clone)]
 struct QuadNode {
     rect: Rect,
-    bucket: Vec<GeoTextObject>,
+    bucket: Vec<SlotId>,
     children: Option<[NodeId; 4]>,
     depth: u16,
 }
 
 /// A point-region quadtree over the domain: leaves hold up to
-/// `bucket_capacity` objects and split on overflow. Exact query answering
+/// `bucket_capacity` slots and split on overflow. Exact query answering
 /// with spatial pruning; the QuadTree index column of Table I.
 #[derive(Debug, Clone)]
 pub struct QuadtreeIndex {
     nodes: Vec<QuadNode>,
     bucket_capacity: usize,
     max_depth: u16,
-    /// `oid → leaf` hint for removals (positions shift, so the bucket is
-    /// searched within the leaf).
-    locator: HashMap<ObjectId, NodeId>,
+    /// `slot → leaf` hint for removals (positions shift, so the bucket is
+    /// searched within the leaf), indexed densely by slot id.
+    locator: Vec<NodeId>,
+    len: usize,
 }
 
 impl QuadtreeIndex {
@@ -39,18 +44,19 @@ impl QuadtreeIndex {
             }],
             bucket_capacity,
             max_depth,
-            locator: HashMap::new(),
+            locator: Vec::new(),
+            len: 0,
         }
     }
 
     /// Number of indexed objects.
     pub fn len(&self) -> usize {
-        self.locator.len()
+        self.len
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.locator.is_empty()
+        self.len == 0
     }
 
     /// Number of tree nodes (diagnostics).
@@ -67,22 +73,28 @@ impl QuadtreeIndex {
         id
     }
 
-    /// Inserts an object. Re-inserting an oid replaces the previous entry.
-    pub fn insert(&mut self, obj: &GeoTextObject) {
-        if self.locator.contains_key(&obj.oid) {
-            self.remove(obj.oid, &obj.loc);
+    fn set_locator(&mut self, slot: SlotId, node: NodeId) {
+        if slot as usize >= self.locator.len() {
+            self.locator.resize(slot as usize + 1, NOWHERE);
         }
-        let leaf = self.leaf_for(&obj.loc);
-        self.nodes[leaf as usize].bucket.push(obj.clone());
-        self.locator.insert(obj.oid, leaf);
+        self.locator[slot as usize] = node;
+    }
+
+    /// Indexes a live store slot. The slot must not already be present
+    /// (the executor removes first on oid replacement).
+    pub fn insert(&mut self, slot: SlotId, store: &ObjectStore) {
+        let leaf = self.leaf_for(&store.get(slot).loc);
+        self.nodes[leaf as usize].bucket.push(slot);
+        self.set_locator(slot, leaf);
+        self.len += 1;
         if self.nodes[leaf as usize].bucket.len() > self.bucket_capacity
             && self.nodes[leaf as usize].depth < self.max_depth
         {
-            self.split(leaf);
+            self.split(leaf, store);
         }
     }
 
-    fn split(&mut self, id: NodeId) {
+    fn split(&mut self, id: NodeId, store: &ObjectStore) {
         let quadrants = self.nodes[id as usize].rect.quadrants();
         let depth = self.nodes[id as usize].depth + 1;
         let base = self.nodes.len() as NodeId;
@@ -97,23 +109,27 @@ impl QuadtreeIndex {
         let children = [base, base + 1, base + 2, base + 3];
         let bucket = std::mem::take(&mut self.nodes[id as usize].bucket);
         let rect = self.nodes[id as usize].rect;
-        for obj in bucket {
-            let q = rect.quadrant_of(&obj.loc);
-            self.locator.insert(obj.oid, children[q]);
-            self.nodes[children[q] as usize].bucket.push(obj);
+        for slot in bucket {
+            let q = rect.quadrant_of(&store.get(slot).loc);
+            self.locator[slot as usize] = children[q];
+            self.nodes[children[q] as usize].bucket.push(slot);
         }
         self.nodes[id as usize].children = Some(children);
     }
 
-    /// Removes by object id (`loc` is unused but kept for symmetry with
-    /// grid removal APIs). Returns whether anything was removed.
-    pub fn remove(&mut self, oid: ObjectId, _loc: &Point) -> bool {
-        let Some(leaf) = self.locator.remove(&oid) else {
+    /// Removes a slot. Returns whether anything was removed.
+    pub fn remove(&mut self, slot: SlotId) -> bool {
+        let Some(&leaf) = self.locator.get(slot as usize) else {
             return false;
         };
+        if leaf == NOWHERE {
+            return false;
+        }
+        self.locator[slot as usize] = NOWHERE;
         let bucket = &mut self.nodes[leaf as usize].bucket;
-        if let Some(pos) = bucket.iter().position(|o| o.oid == oid) {
+        if let Some(pos) = bucket.iter().position(|&s| s == slot) {
             bucket.swap_remove(pos);
+            self.len -= 1;
             true
         } else {
             false
@@ -121,7 +137,7 @@ impl QuadtreeIndex {
     }
 
     /// Exact count of indexed objects matching `query`.
-    pub fn count(&self, query: &RcDvq) -> u64 {
+    pub fn count(&self, query: &RcDvq, store: &ObjectStore) -> u64 {
         let mut total = 0u64;
         let mut stack: Vec<NodeId> = vec![0];
         while let Some(id) = stack.pop() {
@@ -131,7 +147,30 @@ impl QuadtreeIndex {
                     continue;
                 }
             }
-            total += node.bucket.iter().filter(|o| query.matches(o)).count() as u64;
+            total += node
+                .bucket
+                .iter()
+                .filter(|&&s| query.matches(store.get(s)))
+                .count() as u64;
+            if let Some(children) = node.children {
+                stack.extend_from_slice(&children);
+            }
+        }
+        total
+    }
+
+    /// Candidate-set size of the spatial access path for `r`: the bucket
+    /// population of every node the range intersects (the planner's cost
+    /// for this backend; traversal only, no object reads).
+    pub fn candidate_count(&self, r: &Rect) -> u64 {
+        let mut total = 0u64;
+        let mut stack: Vec<NodeId> = vec![0];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if !node.rect.intersects(r) {
+                continue;
+            }
+            total += node.bucket.len() as u64;
             if let Some(children) = node.children {
                 stack.extend_from_slice(&children);
             }
@@ -150,13 +189,14 @@ impl QuadtreeIndex {
             depth: 0,
         });
         self.locator.clear();
+        self.len = 0;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geostream::{KeywordId, Timestamp};
+    use geostream::{GeoTextObject, KeywordId, ObjectId, Timestamp};
 
     const DOMAIN: Rect = Rect {
         min_x: 0.0,
@@ -174,87 +214,92 @@ mod tests {
         )
     }
 
+    fn insert(q: &mut QuadtreeIndex, store: &mut ObjectStore, o: GeoTextObject) -> SlotId {
+        let slot = store.insert(o);
+        q.insert(slot, store);
+        slot
+    }
+
     #[test]
     fn exact_counts_after_splits() {
+        let mut store = ObjectStore::new();
         let mut q = QuadtreeIndex::new(DOMAIN, 4, 10);
         for i in 0..100u64 {
-            q.insert(&obj(
-                i,
-                (i % 16) as f64 + 0.1,
-                ((i / 16) % 16) as f64 + 0.1,
-                &[],
-            ));
+            insert(
+                &mut q,
+                &mut store,
+                obj(i, (i % 16) as f64 + 0.1, ((i / 16) % 16) as f64 + 0.1, &[]),
+            );
         }
         assert!(q.node_count() > 1, "never split");
-        assert_eq!(q.count(&RcDvq::spatial(DOMAIN)), 100);
+        assert_eq!(q.count(&RcDvq::spatial(DOMAIN), &store), 100);
         let west = RcDvq::spatial(Rect::new(0.0, 0.0, 7.9, 16.0));
         let expected = (0..100u64).filter(|i| (i % 16) as f64 + 0.1 <= 7.9).count() as u64;
-        assert_eq!(q.count(&west), expected);
+        assert_eq!(q.count(&west, &store), expected);
+        // Candidate cost bounds the true count from above.
+        assert!(q.candidate_count(west.range().unwrap()) >= expected);
     }
 
     #[test]
     fn keyword_and_hybrid() {
+        let mut store = ObjectStore::new();
         let mut q = QuadtreeIndex::new(DOMAIN, 2, 10);
-        q.insert(&obj(1, 1.0, 1.0, &[5]));
-        q.insert(&obj(2, 1.0, 1.0, &[6]));
-        q.insert(&obj(3, 14.0, 14.0, &[5]));
-        assert_eq!(q.count(&RcDvq::keyword(vec![KeywordId(5)])), 2);
+        insert(&mut q, &mut store, obj(1, 1.0, 1.0, &[5]));
+        insert(&mut q, &mut store, obj(2, 1.0, 1.0, &[6]));
+        insert(&mut q, &mut store, obj(3, 14.0, 14.0, &[5]));
+        assert_eq!(q.count(&RcDvq::keyword(vec![KeywordId(5)]), &store), 2);
         let h = RcDvq::hybrid(Rect::new(0.0, 0.0, 2.0, 2.0), vec![KeywordId(5)]);
-        assert_eq!(q.count(&h), 1);
+        assert_eq!(q.count(&h, &store), 1);
     }
 
     #[test]
     fn remove_and_len() {
+        let mut store = ObjectStore::new();
         let mut q = QuadtreeIndex::new(DOMAIN, 2, 10);
-        let objects: Vec<_> = (0..20)
-            .map(|i| obj(i, 1.0 + (i as f64) * 0.1, 1.0, &[]))
+        let slots: Vec<_> = (0..20)
+            .map(|i| insert(&mut q, &mut store, obj(i, 1.0 + (i as f64) * 0.1, 1.0, &[])))
             .collect();
-        for o in &objects {
-            q.insert(o);
-        }
         assert_eq!(q.len(), 20);
-        for o in objects.iter().take(10) {
-            assert!(q.remove(o.oid, &o.loc));
+        for &s in slots.iter().take(10) {
+            assert!(q.remove(s));
+        }
+        for i in 0..10u64 {
+            store.remove(ObjectId(i));
         }
         assert_eq!(q.len(), 10);
-        assert_eq!(q.count(&RcDvq::spatial(DOMAIN)), 10);
-        assert!(!q.remove(objects[0].oid, &objects[0].loc));
+        assert_eq!(q.count(&RcDvq::spatial(DOMAIN), &store), 10);
+        assert!(!q.remove(slots[0]));
     }
 
     #[test]
     fn locator_survives_splits() {
+        let mut store = ObjectStore::new();
         let mut q = QuadtreeIndex::new(DOMAIN, 3, 10);
-        let objects: Vec<_> = (0..50)
-            .map(|i| obj(i, (i % 16) as f64, ((i * 7) % 16) as f64, &[]))
+        let slots: Vec<_> = (0..50)
+            .map(|i| {
+                insert(
+                    &mut q,
+                    &mut store,
+                    obj(i, (i % 16) as f64, ((i * 7) % 16) as f64, &[]),
+                )
+            })
             .collect();
-        for o in &objects {
-            q.insert(o);
-        }
-        // Every locator entry must point at a leaf containing the object.
-        for o in &objects {
-            let leaf = q.locator[&o.oid];
+        // Every locator entry must point at a leaf containing the slot.
+        for &slot in &slots {
+            let leaf = q.locator[slot as usize];
             assert!(
-                q.nodes[leaf as usize].bucket.iter().any(|b| b.oid == o.oid),
-                "object {:?} not in its located leaf",
-                o.oid
+                q.nodes[leaf as usize].bucket.contains(&slot),
+                "slot {slot} not in its located leaf"
             );
         }
     }
 
     #[test]
-    fn reinsert_replaces() {
-        let mut q = QuadtreeIndex::new(DOMAIN, 2, 10);
-        q.insert(&obj(1, 1.0, 1.0, &[]));
-        q.insert(&obj(1, 15.0, 15.0, &[]));
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.count(&RcDvq::spatial(Rect::new(0.0, 0.0, 2.0, 2.0))), 0);
-    }
-
-    #[test]
     fn clear_resets() {
+        let mut store = ObjectStore::new();
         let mut q = QuadtreeIndex::new(DOMAIN, 2, 10);
         for i in 0..20 {
-            q.insert(&obj(i, 1.0, 1.0, &[]));
+            insert(&mut q, &mut store, obj(i, 1.0, 1.0, &[]));
         }
         q.clear();
         assert!(q.is_empty());

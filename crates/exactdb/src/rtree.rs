@@ -1,17 +1,20 @@
 //! R-tree spatial index (quadratic-split R-tree) — the third index family
 //! §IV alludes to ("modified R-tree and its variations").
 //!
-//! A classic dynamic R-tree over the window objects: leaf entries are the
-//! objects themselves, internal entries are child bounding rectangles.
-//! Inserts follow the least-enlargement path and split overflowing nodes
-//! with Guttman's quadratic seeds; deletes locate the object via an
-//! `oid → leaf` locator and condense upward. Exact query answering with
-//! MBR pruning.
+//! A classic dynamic R-tree over the window: leaf entries are slot ids
+//! into the shared [`ObjectStore`], internal entries are child bounding
+//! rectangles. Inserts follow the least-enlargement path and split
+//! overflowing nodes with Guttman's quadratic seeds; deletes locate the
+//! slot via a dense `slot → leaf` locator and condense upward. Exact
+//! query answering with MBR pruning.
 
-use geostream::{GeoTextObject, ObjectId, Point, RcDvq, Rect};
-use std::collections::HashMap;
+use crate::store::{ObjectStore, SlotId};
+use geostream::{Point, RcDvq, Rect};
 
 type NodeId = u32;
+
+/// Locator sentinel: slot not present in the tree.
+const NOWHERE: NodeId = NodeId::MAX;
 
 /// Maximum entries per node before splitting.
 const MAX_ENTRIES: usize = 16;
@@ -27,7 +30,7 @@ struct Node {
 
 #[derive(Debug, Clone)]
 enum NodeKind {
-    Leaf(Vec<GeoTextObject>),
+    Leaf(Vec<SlotId>),
     Internal(Vec<NodeId>),
 }
 
@@ -36,7 +39,7 @@ enum NodeKind {
 pub struct RTreeIndex {
     nodes: Vec<Node>,
     root: NodeId,
-    locator: HashMap<ObjectId, NodeId>,
+    locator: Vec<NodeId>,
     len: usize,
 }
 
@@ -76,7 +79,7 @@ impl RTreeIndex {
                 kind: NodeKind::Leaf(Vec::new()),
             }],
             root: 0,
-            locator: HashMap::new(),
+            locator: Vec::new(),
             len: 0,
         }
     }
@@ -134,26 +137,31 @@ impl RTreeIndex {
         }
     }
 
-    /// Inserts an object. Re-inserting an oid replaces the previous entry.
-    pub fn insert(&mut self, obj: &GeoTextObject) {
-        if self.locator.contains_key(&obj.oid) {
-            self.remove(obj.oid);
+    fn set_locator(&mut self, slot: SlotId, node: NodeId) {
+        if slot as usize >= self.locator.len() {
+            self.locator.resize(slot as usize + 1, NOWHERE);
         }
-        let rect = point_rect(&obj.loc);
+        self.locator[slot as usize] = node;
+    }
+
+    /// Indexes a live store slot. The slot must not already be present
+    /// (the executor removes first on oid replacement).
+    pub fn insert(&mut self, slot: SlotId, store: &ObjectStore) {
+        let rect = point_rect(&store.get(slot).loc);
         let leaf = self.choose_leaf(&rect);
         if let NodeKind::Leaf(entries) = &mut self.nodes[leaf as usize].kind {
-            entries.push(obj.clone());
+            entries.push(slot);
         } else {
             unreachable!("choose_leaf returns a leaf");
         }
-        self.locator.insert(obj.oid, leaf);
+        self.set_locator(slot, leaf);
         self.len += 1;
         if self.entry_count(leaf) == 1 {
             self.nodes[leaf as usize].mbr = rect;
         }
-        self.adjust_mbr_upward(leaf);
+        self.adjust_mbr_upward(leaf, store);
         if self.entry_count(leaf) > MAX_ENTRIES {
-            self.split(leaf);
+            self.split(leaf, store);
         }
     }
 
@@ -164,11 +172,11 @@ impl RTreeIndex {
         }
     }
 
-    fn recompute_mbr(&mut self, id: NodeId) {
+    fn recompute_mbr(&mut self, id: NodeId, store: &ObjectStore) {
         let mbr = match &self.nodes[id as usize].kind {
             NodeKind::Leaf(entries) => entries
                 .iter()
-                .map(|o| point_rect(&o.loc))
+                .map(|&s| point_rect(&store.get(s).loc))
                 .reduce(|a, b| join(&a, &b)),
             NodeKind::Internal(children) => children
                 .iter()
@@ -180,9 +188,9 @@ impl RTreeIndex {
         }
     }
 
-    fn adjust_mbr_upward(&mut self, mut id: NodeId) {
+    fn adjust_mbr_upward(&mut self, mut id: NodeId, store: &ObjectStore) {
         loop {
-            self.recompute_mbr(id);
+            self.recompute_mbr(id, store);
             match self.nodes[id as usize].parent {
                 Some(p) => id = p,
                 None => break,
@@ -191,10 +199,13 @@ impl RTreeIndex {
     }
 
     /// Quadratic split of an overflowing node.
-    fn split(&mut self, id: NodeId) {
+    fn split(&mut self, id: NodeId, store: &ObjectStore) {
         // Collect the entry MBRs for seed picking.
         let rects: Vec<Rect> = match &self.nodes[id as usize].kind {
-            NodeKind::Leaf(entries) => entries.iter().map(|o| point_rect(&o.loc)).collect(),
+            NodeKind::Leaf(entries) => entries
+                .iter()
+                .map(|&s| point_rect(&store.get(s).loc))
+                .collect(),
             NodeKind::Internal(children) => children
                 .iter()
                 .map(|&c| self.nodes[c as usize].mbr)
@@ -250,11 +261,11 @@ impl RTreeIndex {
                 let mut kept = Vec::with_capacity(group1.len());
                 let mut moved = Vec::with_capacity(group2.len());
                 let old = std::mem::take(entries);
-                for (i, obj) in old.into_iter().enumerate() {
+                for (i, slot) in old.into_iter().enumerate() {
                     if group2.contains(&i) {
-                        moved.push(obj);
+                        moved.push(slot);
                     } else {
-                        kept.push(obj);
+                        kept.push(slot);
                     }
                 }
                 *entries = kept;
@@ -284,10 +295,9 @@ impl RTreeIndex {
         // Fix locators / child parents for moved entries.
         match &self.nodes[sibling as usize].kind {
             NodeKind::Leaf(entries) => {
-                // Clone oids first to appease the borrow checker.
-                let oids: Vec<ObjectId> = entries.iter().map(|o| o.oid).collect();
-                for oid in oids {
-                    self.locator.insert(oid, sibling);
+                let moved = entries.clone();
+                for slot in moved {
+                    self.locator[slot as usize] = sibling;
                 }
             }
             NodeKind::Internal(children) => {
@@ -304,9 +314,9 @@ impl RTreeIndex {
                 } else {
                     unreachable!("parents are internal");
                 }
-                self.adjust_mbr_upward(p);
+                self.adjust_mbr_upward(p, store);
                 if self.entry_count(p) > MAX_ENTRIES {
-                    self.split(p);
+                    self.split(p, store);
                 }
             }
             None => {
@@ -324,20 +334,24 @@ impl RTreeIndex {
         }
     }
 
-    /// Removes by object id. Returns whether anything was removed.
+    /// Removes a slot. Returns whether anything was removed.
     ///
     /// Underfull leaves are tolerated (no re-insertion pass): for a
     /// windowed stream the constant churn keeps occupancy healthy, and
     /// query exactness never depends on fill factors.
-    pub fn remove(&mut self, oid: ObjectId) -> bool {
-        let Some(leaf) = self.locator.remove(&oid) else {
+    pub fn remove(&mut self, slot: SlotId, store: &ObjectStore) -> bool {
+        let Some(&leaf) = self.locator.get(slot as usize) else {
             return false;
         };
+        if leaf == NOWHERE {
+            return false;
+        }
+        self.locator[slot as usize] = NOWHERE;
         if let NodeKind::Leaf(entries) = &mut self.nodes[leaf as usize].kind {
-            if let Some(pos) = entries.iter().position(|o| o.oid == oid) {
+            if let Some(pos) = entries.iter().position(|&s| s == slot) {
                 entries.swap_remove(pos);
                 self.len -= 1;
-                self.adjust_mbr_upward(leaf);
+                self.adjust_mbr_upward(leaf, store);
                 return true;
             }
         }
@@ -345,7 +359,7 @@ impl RTreeIndex {
     }
 
     /// Exact count of indexed objects matching `query`.
-    pub fn count(&self, query: &RcDvq) -> u64 {
+    pub fn count(&self, query: &RcDvq, store: &ObjectStore) -> u64 {
         let mut total = 0u64;
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
@@ -357,8 +371,30 @@ impl RTreeIndex {
             }
             match &node.kind {
                 NodeKind::Leaf(entries) => {
-                    total += entries.iter().filter(|o| query.matches(o)).count() as u64;
+                    total += entries
+                        .iter()
+                        .filter(|&&s| query.matches(store.get(s)))
+                        .count() as u64;
                 }
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+            }
+        }
+        total
+    }
+
+    /// Candidate-set size of the spatial access path for `r`: the leaf
+    /// population of every node whose MBR intersects the range (the
+    /// planner's cost for this backend; traversal only, no object reads).
+    pub fn candidate_count(&self, r: &Rect) -> u64 {
+        let mut total = 0u64;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if !node.mbr.intersects(r) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => total += entries.len() as u64,
                 NodeKind::Internal(children) => stack.extend_from_slice(children),
             }
         }
@@ -379,19 +415,22 @@ impl RTreeIndex {
     }
 
     /// Structural invariant check (used by tests): every child's MBR is
-    /// contained in its parent's, every leaf entry is inside its leaf MBR,
+    /// contained in its parent's, every leaf slot is inside its leaf MBR,
     /// and the locator is exact.
     #[doc(hidden)]
-    pub fn check_invariants(&self) {
+    pub fn check_invariants(&self, store: &ObjectStore) {
         let mut seen = 0usize;
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
             let node = &self.nodes[id as usize];
             match &node.kind {
                 NodeKind::Leaf(entries) => {
-                    for o in entries {
-                        assert!(node.mbr.contains(&o.loc), "object outside its leaf MBR");
-                        assert_eq!(self.locator.get(&o.oid), Some(&id), "stale locator");
+                    for &s in entries {
+                        assert!(
+                            node.mbr.contains(&store.get(s).loc),
+                            "object outside its leaf MBR"
+                        );
+                        assert_eq!(self.locator[s as usize], id, "stale locator");
                         seen += 1;
                     }
                 }
@@ -416,7 +455,7 @@ impl RTreeIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geostream::{KeywordId, Timestamp};
+    use geostream::{GeoTextObject, KeywordId, ObjectId, Timestamp};
 
     fn obj(id: u64, x: f64, y: f64, kws: &[u32]) -> GeoTextObject {
         GeoTextObject::new(
@@ -440,14 +479,34 @@ mod tests {
             .collect()
     }
 
+    fn build(objects: &[GeoTextObject]) -> (ObjectStore, RTreeIndex, Vec<SlotId>) {
+        let mut store = ObjectStore::new();
+        let mut t = RTreeIndex::new();
+        let slots = objects
+            .iter()
+            .map(|o| {
+                let slot = store.insert(o.clone());
+                t.insert(slot, &store);
+                slot
+            })
+            .collect();
+        (store, t, slots)
+    }
+
+    /// Store-side removal matching the executor's order: mark dead in the
+    /// store first, then drop from the tree.
+    fn remove(t: &mut RTreeIndex, store: &mut ObjectStore, id: u64) -> bool {
+        let Some((slot, _)) = store.remove(ObjectId(id)) else {
+            return false;
+        };
+        t.remove(slot, store)
+    }
+
     #[test]
     fn exact_counts_match_brute_force() {
         let objects = scattered(800);
-        let mut t = RTreeIndex::new();
-        for o in &objects {
-            t.insert(o);
-        }
-        t.check_invariants();
+        let (store, t, _) = build(&objects);
+        t.check_invariants(&store);
         assert!(t.height() > 1, "tree never grew");
         for q in [
             RcDvq::spatial(Rect::new(10.0, 10.0, 60.0, 40.0)),
@@ -455,94 +514,89 @@ mod tests {
             RcDvq::hybrid(Rect::new(0.0, 0.0, 50.0, 100.0), vec![KeywordId(2)]),
         ] {
             let brute = objects.iter().filter(|o| q.matches(o)).count() as u64;
-            assert_eq!(t.count(&q), brute, "mismatch on {q:?}");
+            assert_eq!(t.count(&q, &store), brute, "mismatch on {q:?}");
+            if let Some(r) = q.range() {
+                assert!(t.candidate_count(r) >= t.count(&RcDvq::spatial(*r), &store));
+            }
         }
     }
 
     #[test]
     fn removal_keeps_exactness_and_invariants() {
         let objects = scattered(500);
-        let mut t = RTreeIndex::new();
-        for o in &objects {
-            t.insert(o);
-        }
+        let (mut store, mut t, _) = build(&objects);
         for o in objects.iter().take(300) {
-            assert!(t.remove(o.oid));
+            assert!(remove(&mut t, &mut store, o.oid.0));
         }
-        t.check_invariants();
+        t.check_invariants(&store);
         assert_eq!(t.len(), 200);
         let q = RcDvq::spatial(Rect::new(0.0, 0.0, 100.0, 100.0));
-        assert_eq!(t.count(&q), 200);
-        assert!(!t.remove(objects[0].oid), "double remove must fail");
-    }
-
-    #[test]
-    fn reinsert_replaces() {
-        let mut t = RTreeIndex::new();
-        t.insert(&obj(1, 10.0, 10.0, &[]));
-        t.insert(&obj(1, 90.0, 90.0, &[]));
-        assert_eq!(t.len(), 1);
-        assert_eq!(t.count(&RcDvq::spatial(Rect::new(0.0, 0.0, 20.0, 20.0))), 0);
-        assert_eq!(
-            t.count(&RcDvq::spatial(Rect::new(80.0, 80.0, 100.0, 100.0))),
-            1
+        assert_eq!(t.count(&q, &store), 200);
+        assert!(
+            !remove(&mut t, &mut store, objects[0].oid.0),
+            "double remove must fail"
         );
     }
 
     #[test]
     fn churn_preserves_invariants() {
-        let mut t = RTreeIndex::new();
         let objects = scattered(1_500);
+        let mut store = ObjectStore::new();
+        let mut t = RTreeIndex::new();
         for (i, o) in objects.iter().enumerate() {
-            t.insert(o);
+            let slot = store.insert(o.clone());
+            t.insert(slot, &store);
             if i >= 400 {
-                t.remove(objects[i - 400].oid);
+                assert!(remove(&mut t, &mut store, objects[i - 400].oid.0));
             }
         }
-        t.check_invariants();
+        t.check_invariants(&store);
         assert_eq!(t.len(), 400);
     }
 
     #[test]
     fn disjoint_query_is_zero() {
-        let mut t = RTreeIndex::new();
-        for o in scattered(100) {
-            t.insert(&o);
-        }
+        let (store, t, _) = build(&scattered(100));
         assert_eq!(
-            t.count(&RcDvq::spatial(Rect::new(500.0, 500.0, 600.0, 600.0))),
+            t.count(
+                &RcDvq::spatial(Rect::new(500.0, 500.0, 600.0, 600.0)),
+                &store
+            ),
             0
         );
+        assert_eq!(t.candidate_count(&Rect::new(500.0, 500.0, 600.0, 600.0)), 0);
     }
 
     #[test]
     fn clear_resets() {
-        let mut t = RTreeIndex::new();
-        for o in scattered(100) {
-            t.insert(&o);
-        }
+        let (store, mut t, _) = build(&scattered(100));
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.height(), 1);
-        t.check_invariants();
+        t.check_invariants(&store);
     }
 
     #[test]
     fn clustered_data_builds_tight_mbrs() {
         // Two far-apart clusters: the root's children should separate them
         // (small total child area vs. the root MBR).
+        let mut store = ObjectStore::new();
         let mut t = RTreeIndex::new();
         let mut id = 0u64;
         for i in 0..60 {
-            t.insert(&obj(id, 1.0 + (i % 8) as f64 * 0.1, 1.0, &[]));
-            id += 1;
-            t.insert(&obj(id, 90.0 + (i % 8) as f64 * 0.1, 90.0, &[]));
-            id += 1;
+            for (x, y) in [
+                (1.0 + (i % 8) as f64 * 0.1, 1.0),
+                (90.0 + (i % 8) as f64 * 0.1, 90.0),
+            ] {
+                let slot = store.insert(obj(id, x, y, &[]));
+                t.insert(slot, &store);
+                id += 1;
+            }
         }
-        t.check_invariants();
+        t.check_invariants(&store);
         // Query between the clusters touches nothing.
         assert_eq!(
-            t.count(&RcDvq::spatial(Rect::new(30.0, 30.0, 60.0, 60.0))),
+            t.count(&RcDvq::spatial(Rect::new(30.0, 30.0, 60.0, 60.0)), &store),
             0
         );
     }

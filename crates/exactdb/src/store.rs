@@ -1,0 +1,254 @@
+//! Slot-based shared object store: the single owner of live window
+//! objects.
+//!
+//! Every backend used to keep its own clone of the `GeoTextObject`s (the
+//! spatial index's cells *and* the inverted index's object map), so each
+//! window insert paid two clones and queries chased pointers through
+//! `HashMap`s. The store replaces all of that with one dense `Vec` of
+//! objects addressed by `u32` slot ids; indexes hold bare slots and read
+//! the shared storage contiguously at query time.
+//!
+//! ## Slot lifecycle and deferred reuse
+//!
+//! Slots are recycled through a free list, but the inverted index keeps
+//! **lazy tombstones**: removing an object does not touch its posting
+//! lists, it only bumps per-posting dead counters (compaction is
+//! amortized, see [`crate::inverted`]). A dead slot must therefore not be
+//! handed out again while stale posting entries still reference it —
+//! otherwise an old entry would alias the new object. The store enforces
+//! this with a per-slot reference count: [`ObjectStore::remove`] parks the
+//! slot with one reference per posting list that mentions it (= the
+//! object's keyword count), and each posting compaction that drops a dead
+//! entry calls [`ObjectStore::release_ref`]; the slot only rejoins the
+//! free list at zero. Keyword-less objects recycle immediately.
+
+use geostream::{GeoTextObject, ObjectId};
+use std::collections::HashMap;
+
+/// Dense index of an object in the store (and in every backend).
+pub type SlotId = u32;
+
+/// Single owner of the live window objects, shared by all exact indexes.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    /// Dense object storage; `None` for free or parked slots.
+    slots: Vec<Option<GeoTextObject>>,
+    /// Liveness per slot — posting lists check this to skip tombstones.
+    live: Vec<bool>,
+    /// Outstanding posting-list references to a dead slot; the slot is
+    /// recycled only when this drains to zero.
+    pending_refs: Vec<u32>,
+    /// Recycled slots ready for reuse.
+    free: Vec<SlotId>,
+    /// External identity → slot.
+    by_oid: HashMap<ObjectId, SlotId>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.by_oid.len()
+    }
+
+    /// Whether the store holds no live objects.
+    pub fn is_empty(&self) -> bool {
+        self.by_oid.is_empty()
+    }
+
+    /// Total slots ever allocated (live + parked + free) — the capacity
+    /// indexes may be asked to address.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether an object with this id is live.
+    pub fn contains(&self, oid: ObjectId) -> bool {
+        self.by_oid.contains_key(&oid)
+    }
+
+    /// The slot of a live object, if present.
+    pub fn slot_of(&self, oid: ObjectId) -> Option<SlotId> {
+        self.by_oid.get(&oid).copied()
+    }
+
+    /// Whether `slot` holds a live object. Out-of-range slots are dead.
+    #[inline]
+    pub fn is_live(&self, slot: SlotId) -> bool {
+        self.live.get(slot as usize).copied().unwrap_or(false)
+    }
+
+    /// The live object at `slot`.
+    ///
+    /// # Panics
+    /// Panics if the slot is free or parked — indexes only hold live
+    /// slots (posting tombstones are filtered through [`Self::is_live`]).
+    #[inline]
+    pub fn get(&self, slot: SlotId) -> &GeoTextObject {
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("index holds a dead slot")
+    }
+
+    /// Iterates `(slot, object)` over the live population (store order,
+    /// not insertion order).
+    pub fn iter_live(&self) -> impl Iterator<Item = (SlotId, &GeoTextObject)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|o| (i as SlotId, o)))
+    }
+
+    /// Stores an object and returns its slot.
+    ///
+    /// The caller (the executor) is responsible for removing any previous
+    /// object with the same id first; debug builds assert it.
+    pub fn insert(&mut self, obj: GeoTextObject) -> SlotId {
+        debug_assert!(
+            !self.by_oid.contains_key(&obj.oid),
+            "oid re-inserted without removal"
+        );
+        let oid = obj.oid;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(obj);
+                self.live[slot as usize] = true;
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as SlotId;
+                self.slots.push(Some(obj));
+                self.live.push(true);
+                self.pending_refs.push(0);
+                slot
+            }
+        };
+        self.by_oid.insert(oid, slot);
+        slot
+    }
+
+    /// Removes a live object, returning its slot and the object (the
+    /// caller still needs its location and keywords to update indexes).
+    ///
+    /// The slot is parked with one pending reference per keyword — each
+    /// posting list that mentions it — and recycles via
+    /// [`Self::release_ref`]; with no keywords it is immediately free.
+    pub fn remove(&mut self, oid: ObjectId) -> Option<(SlotId, GeoTextObject)> {
+        let slot = self.by_oid.remove(&oid)?;
+        let obj = self.slots[slot as usize]
+            .take()
+            .expect("by_oid points at an occupied slot");
+        self.live[slot as usize] = false;
+        let refs = obj.keywords.len() as u32;
+        self.pending_refs[slot as usize] = refs;
+        if refs == 0 {
+            self.free.push(slot);
+        }
+        Some((slot, obj))
+    }
+
+    /// Drops one posting-list reference to a parked slot; the last
+    /// reference returns the slot to the free list.
+    pub fn release_ref(&mut self, slot: SlotId) {
+        let refs = &mut self.pending_refs[slot as usize];
+        debug_assert!(*refs > 0, "released more refs than were parked");
+        *refs -= 1;
+        if *refs == 0 {
+            self.free.push(slot);
+        }
+    }
+
+    /// Clears the store (all slots recycled, capacity kept).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.live.clear();
+        self.pending_refs.clear();
+        self.free.clear();
+        self.by_oid.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{KeywordId, Point, Timestamp};
+
+    fn obj(id: u64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(id),
+            Point::new(id as f64, 0.0),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp::ZERO,
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = ObjectStore::new();
+        let a = s.insert(obj(1, &[7]));
+        let b = s.insert(obj(2, &[]));
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a).oid, ObjectId(1));
+        assert_eq!(s.slot_of(ObjectId(2)), Some(b));
+        let (slot, o) = s.remove(ObjectId(1)).unwrap();
+        assert_eq!(slot, a);
+        assert_eq!(o.oid, ObjectId(1));
+        assert!(!s.is_live(a));
+        assert!(s.remove(ObjectId(1)).is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn keywordless_slot_recycles_immediately() {
+        let mut s = ObjectStore::new();
+        let a = s.insert(obj(1, &[]));
+        s.remove(ObjectId(1));
+        let b = s.insert(obj(2, &[]));
+        assert_eq!(a, b, "free slot must be reused");
+        assert_eq!(s.slot_capacity(), 1);
+    }
+
+    #[test]
+    fn keyword_slot_parks_until_refs_release() {
+        let mut s = ObjectStore::new();
+        let a = s.insert(obj(1, &[3, 5]));
+        s.remove(ObjectId(1));
+        // Two posting lists still reference the slot: not reusable yet.
+        let b = s.insert(obj(2, &[]));
+        assert_ne!(a, b);
+        s.release_ref(a);
+        let c = s.insert(obj(3, &[]));
+        assert_ne!(a, c, "one ref still parked");
+        s.release_ref(a);
+        let d = s.insert(obj(4, &[]));
+        assert_eq!(a, d, "fully released slot recycles");
+    }
+
+    #[test]
+    fn iter_live_sees_exactly_the_population() {
+        let mut s = ObjectStore::new();
+        for i in 0..10 {
+            s.insert(obj(i, &[]));
+        }
+        for i in 0..5 {
+            s.remove(ObjectId(i));
+        }
+        let live: Vec<u64> = s.iter_live().map(|(_, o)| o.oid.0).collect();
+        assert_eq!(live.len(), 5);
+        assert!(live.iter().all(|&id| id >= 5));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = ObjectStore::new();
+        s.insert(obj(1, &[2]));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.slot_capacity(), 0);
+    }
+}

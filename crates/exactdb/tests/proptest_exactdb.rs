@@ -1,0 +1,171 @@
+//! Property-based churn tests for the slot-based exact executor: an
+//! arbitrary interleaving of inserts, removals, and window slides must
+//! leave every spatial backend — and the cost-based planner routing on
+//! top of them — in exact agreement with a brute-force scan of the live
+//! population.
+
+use exactdb::{AccessPath, ExactExecutor, SpatialIndexKind};
+use geostream::{GeoTextObject, KeywordId, ObjectId, Point, RcDvq, Rect, Timestamp};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const DOMAIN: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 100.0,
+    max_y: 100.0,
+};
+
+/// One step of window churn.
+#[derive(Debug, Clone)]
+enum Op {
+    /// A fresh arrival at the given location with the given keywords.
+    Insert { loc: Point, kws: Vec<u32> },
+    /// Evict the i-th oldest live object (modulo the live population).
+    RemoveOldest(usize),
+    /// Slide: evict the oldest `n` live objects at once (a window
+    /// advance evicting a batch).
+    Advance(usize),
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Inserts repeated to skew the op mix toward arrivals (the plain
+    // union samples arms uniformly).
+    let insert = || {
+        (arb_point(), proptest::collection::vec(0u32..20, 0..4))
+            .prop_map(|(loc, kws)| Op::Insert { loc, kws })
+    };
+    prop_oneof![
+        insert(),
+        insert(),
+        insert(),
+        insert(),
+        (0usize..64).prop_map(Op::RemoveOldest),
+        (0usize..64).prop_map(Op::RemoveOldest),
+        (1usize..24).prop_map(Op::Advance),
+    ]
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..90.0f64, 0.0..90.0f64, 0.5..50.0f64, 0.5..50.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, (x + w).min(100.0), (y + h).min(100.0)))
+}
+
+fn arb_query() -> impl Strategy<Value = RcDvq> {
+    prop_oneof![
+        arb_rect().prop_map(RcDvq::spatial),
+        proptest::collection::vec(0u32..20, 1..4)
+            .prop_map(|k| RcDvq::keyword(k.into_iter().map(KeywordId).collect())),
+        (arb_rect(), proptest::collection::vec(0u32..20, 1..4))
+            .prop_map(|(r, k)| RcDvq::hybrid(r, k.into_iter().map(KeywordId).collect())),
+    ]
+}
+
+/// Replays the op sequence on all three backends and a brute-force
+/// oracle, checking exactness after the churn settles.
+fn run_churn(ops: &[Op], queries: &[RcDvq]) {
+    let mut executors = [
+        ExactExecutor::new(DOMAIN, SpatialIndexKind::Grid),
+        ExactExecutor::new(DOMAIN, SpatialIndexKind::Quadtree),
+        ExactExecutor::new(DOMAIN, SpatialIndexKind::RTree),
+    ];
+    // Brute-force oracle: oid → object, in insertion (= age) order.
+    let mut oracle: BTreeMap<u64, GeoTextObject> = BTreeMap::new();
+    let mut next_id = 0u64;
+    for op in ops {
+        match op {
+            Op::Insert { loc, kws } => {
+                let o = GeoTextObject::new(
+                    ObjectId(next_id),
+                    *loc,
+                    kws.iter().copied().map(KeywordId).collect(),
+                    Timestamp(next_id),
+                );
+                next_id += 1;
+                for e in &mut executors {
+                    e.insert(&o);
+                }
+                oracle.insert(o.oid.0, o);
+            }
+            Op::RemoveOldest(i) => {
+                if oracle.is_empty() {
+                    continue;
+                }
+                let idx = i % oracle.len();
+                let oid = *oracle.keys().nth(idx).expect("index in range");
+                let o = oracle.remove(&oid).expect("key exists");
+                for e in &mut executors {
+                    e.remove(&o);
+                }
+            }
+            Op::Advance(n) => {
+                let batch: Vec<GeoTextObject> = oracle
+                    .keys()
+                    .take(*n)
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|oid| oracle.remove(&oid).expect("key exists"))
+                    .collect();
+                for e in &mut executors {
+                    e.remove_batch(&batch);
+                }
+            }
+        }
+    }
+    for e in &executors {
+        assert_eq!(e.len(), oracle.len(), "{} length drifted", e.kind().name());
+    }
+    for q in queries {
+        let brute = oracle.values().filter(|o| q.matches(o)).count() as u64;
+        for e in &executors {
+            assert_eq!(
+                e.execute(q),
+                brute,
+                "{} (via {:?} path) wrong on {:?}",
+                e.kind().name(),
+                e.plan(q),
+                q
+            );
+            // Both access paths must agree regardless of what the
+            // planner picked for this query.
+            if matches!(e.plan(q), AccessPath::Inverted) {
+                assert_eq!(e.execute_spatial_path(q), brute);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn churn_keeps_every_backend_exact(
+        ops in proptest::collection::vec(arb_op(), 1..250),
+        queries in proptest::collection::vec(arb_query(), 1..6),
+    ) {
+        run_churn(&ops, &queries);
+    }
+
+    #[test]
+    fn heavy_eviction_churn_is_exact(
+        inserts in proptest::collection::vec(
+            (arb_point(), proptest::collection::vec(0u32..20, 0..4)), 50..150),
+        queries in proptest::collection::vec(arb_query(), 1..6),
+    ) {
+        // Sliding-window shape: every insert past a capacity of 30 evicts
+        // the oldest object, so most slots recycle at least once.
+        let mut ops = Vec::new();
+        for (i, (loc, kws)) in inserts.into_iter().enumerate() {
+            ops.push(Op::Insert { loc, kws });
+            if i >= 30 {
+                ops.push(Op::Advance(1));
+            }
+        }
+        run_churn(&ops, &queries);
+    }
+}

@@ -91,16 +91,19 @@ proptest! {
         objects in arb_objects(150),
         drop in proptest::collection::vec(proptest::bool::ANY, 150)
     ) {
+        let mut store = exactdb::ObjectStore::new();
         let mut t = exactdb::rtree::RTreeIndex::new();
         for o in &objects {
-            t.insert(o);
+            let slot = store.insert(o.clone());
+            t.insert(slot, &store);
         }
         for (o, d) in objects.iter().zip(&drop) {
             if *d {
-                t.remove(o.oid);
+                let (slot, _) = store.remove(o.oid).expect("object was inserted");
+                prop_assert!(t.remove(slot, &store));
             }
         }
-        t.check_invariants();
+        t.check_invariants(&store);
         let live = objects.iter().zip(&drop).filter(|(_, d)| !**d).count();
         prop_assert_eq!(t.len(), live);
     }
