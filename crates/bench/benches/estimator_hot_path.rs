@@ -1,0 +1,225 @@
+//! Hot-path microbenchmarks of the `SampleStore`-backed sampling
+//! estimators — the per-query estimate cost the paper's Fig. 12/13 and
+//! Table I charge to the estimator pool.
+//!
+//! Two axes, per estimator:
+//!
+//! * **ingest churn** — a sliding-window replay (insert + evict once the
+//!   window is full), covering reservoir replacement, swap-remove slot
+//!   recycling, and posting-index upkeep;
+//! * **estimate latency** — per query type, where the chunked spatial
+//!   kernel, the sample-local posting index, and the hybrid cost cutover
+//!   do their work. A `scan_baseline` arm replays the pre-refactor
+//!   `Vec<GeoTextObject>` linear scan with RSL's exact RNG stream for a
+//!   like-for-like before/after.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estimators::equidepth::EquiDepthGrid;
+use estimators::reservoir::ReservoirList;
+use estimators::reservoir_hash::ReservoirHash;
+use estimators::spn::SpnEstimator;
+use estimators::windowed::WindowedSampler;
+use estimators::{EstimatorConfig, SelectivityEstimator};
+use geostream::synth::DatasetSpec;
+use geostream::{GeoTextObject, KeywordId, ObjectId, RcDvq, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Sample capacity for the estimate-latency benchmarks.
+const CAPACITY: usize = 10_000;
+/// Live window size during the churn replay.
+const WINDOW: usize = 20_000;
+/// Total objects replayed (so `STREAM - WINDOW` evictions happen).
+const STREAM: usize = 30_000;
+
+/// The pre-refactor array-of-structs reservoir (see
+/// `latest_bench::estimator_bench::ScanBaseline` for the measured JSON
+/// variant): per-object clone, `HashMap` slot index, linear-scan
+/// estimates, RSL's RNG stream.
+struct ScanBaseline {
+    capacity: usize,
+    sample: Vec<GeoTextObject>,
+    index: HashMap<ObjectId, usize>,
+    seen: u64,
+    population: u64,
+    rng: StdRng,
+}
+
+impl ScanBaseline {
+    fn new(config: &EstimatorConfig) -> Self {
+        ScanBaseline {
+            capacity: config.scaled_reservoir(),
+            sample: Vec::new(),
+            index: HashMap::new(),
+            seen: 0,
+            population: 0,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x5151),
+        }
+    }
+
+    fn insert(&mut self, obj: &GeoTextObject) {
+        self.population += 1;
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.index.insert(obj.oid, self.sample.len());
+            self.sample.push(obj.clone());
+        } else {
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                let slot = j as usize;
+                self.index.remove(&self.sample[slot].oid);
+                self.index.insert(obj.oid, slot);
+                self.sample[slot] = obj.clone();
+            }
+        }
+    }
+
+    fn remove(&mut self, obj: &GeoTextObject) {
+        self.population = self.population.saturating_sub(1);
+        if let Some(slot) = self.index.remove(&obj.oid) {
+            self.sample.swap_remove(slot);
+            if slot < self.sample.len() {
+                self.index.insert(self.sample[slot].oid, slot);
+            }
+        }
+    }
+
+    fn estimate(&self, query: &RcDvq) -> f64 {
+        if self.sample.is_empty() {
+            return 0.0;
+        }
+        let matches = self.sample.iter().filter(|o| query.matches(o)).count();
+        matches as f64 / self.sample.len() as f64 * self.population as f64
+    }
+}
+
+fn config() -> EstimatorConfig {
+    EstimatorConfig {
+        domain: DatasetSpec::twitter().domain,
+        reservoir_capacity: CAPACITY,
+        ..EstimatorConfig::default()
+    }
+}
+
+fn stream_objects() -> Vec<GeoTextObject> {
+    DatasetSpec::twitter().generator().take(STREAM).collect()
+}
+
+/// Picks query keywords from the final window of the stream: the twitter
+/// preset drifts its hot terms over time, so fixed low ids would
+/// benchmark empty posting lists. Rank 2 is a hot term, ranks 9 and 17
+/// mid-frequency ones (0-based, clamped).
+fn query_keywords(window_objects: &[GeoTextObject]) -> [KeywordId; 3] {
+    let mut freq: HashMap<KeywordId, usize> = HashMap::new();
+    for o in window_objects {
+        for &kw in o.keywords.iter() {
+            *freq.entry(kw).or_default() += 1;
+        }
+    }
+    let mut ranked: Vec<(KeywordId, usize)> = freq.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+    let pick = |rank: usize| ranked[rank.min(ranked.len().saturating_sub(1))].0;
+    [pick(2), pick(9), pick(17)]
+}
+
+/// The query shapes measured per estimator: label + query.
+fn query_set(dataset: &DatasetSpec, kws: [KeywordId; 3]) -> Vec<(&'static str, RcDvq)> {
+    let center = dataset.spatial_model().hotspots()[0].center;
+    let rect = Rect::centered_clamped(center, 2.0, 1.5, &dataset.domain);
+    let small = Rect::centered_clamped(center, 0.4, 0.3, &dataset.domain);
+    vec![
+        ("spatial", RcDvq::spatial(rect)),
+        ("keyword1", RcDvq::keyword(vec![kws[0]])),
+        ("keyword3", RcDvq::keyword(kws.to_vec())),
+        ("hybrid1", RcDvq::hybrid(rect, vec![kws[0]])),
+        ("hybrid3", RcDvq::hybrid(rect, kws.to_vec())),
+        ("hybrid_small", RcDvq::hybrid(small, kws.to_vec())),
+    ]
+}
+
+/// Windowed replay into `e`.
+fn replay<E: SelectivityEstimator>(e: &mut E, objects: &[GeoTextObject]) {
+    for (i, o) in objects.iter().enumerate() {
+        e.insert(o);
+        if i >= WINDOW {
+            e.remove(&objects[i - WINDOW]);
+        }
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let cfg = config();
+    let objects = stream_objects();
+    let mut group = c.benchmark_group("estimator_ingest");
+    group.sample_size(10);
+    group.bench_function("rsl", |b| {
+        b.iter(|| {
+            let mut e = ReservoirList::new(&cfg);
+            replay(&mut e, &objects);
+            e.sample_len()
+        });
+    });
+    group.bench_function("rsh", |b| {
+        b.iter(|| {
+            let mut e = ReservoirHash::new(&cfg);
+            replay(&mut e, &objects);
+            e.sample_len()
+        });
+    });
+    group.bench_function("windowed", |b| {
+        b.iter(|| {
+            let mut e = WindowedSampler::new(&cfg);
+            replay(&mut e, &objects);
+            e.sample_len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let dataset = DatasetSpec::twitter();
+    let cfg = config();
+    let objects = stream_objects();
+    let queries = query_set(&dataset, query_keywords(&objects[STREAM - WINDOW..]));
+
+    let mut baseline = ScanBaseline::new(&cfg);
+    for (i, o) in objects.iter().enumerate() {
+        baseline.insert(o);
+        if i >= WINDOW {
+            baseline.remove(&objects[i - WINDOW]);
+        }
+    }
+    let mut rsl = ReservoirList::new(&cfg);
+    replay(&mut rsl, &objects);
+    let mut rsh = ReservoirHash::new(&cfg);
+    replay(&mut rsh, &objects);
+    let mut windowed = WindowedSampler::new(&cfg);
+    replay(&mut windowed, &objects);
+    let mut equidepth = EquiDepthGrid::new(&cfg);
+    replay(&mut equidepth, &objects);
+    let mut spn = SpnEstimator::new(&cfg);
+    replay(&mut spn, &objects);
+
+    type EstimateArm = (&'static str, Box<dyn Fn(&RcDvq) -> f64>);
+    let arms: Vec<EstimateArm> = vec![
+        ("scan_baseline", Box::new(move |q| baseline.estimate(q))),
+        ("rsl", Box::new(move |q| rsl.estimate(q))),
+        ("rsh", Box::new(move |q| rsh.estimate(q))),
+        ("windowed", Box::new(move |q| windowed.estimate(q))),
+        ("equidepth", Box::new(move |q| equidepth.estimate(q))),
+        ("spn", Box::new(move |q| spn.estimate(q))),
+    ];
+    let mut group = c.benchmark_group("estimator_estimate");
+    for (name, estimate) in &arms {
+        for (label, q) in &queries {
+            group.bench_with_input(BenchmarkId::new(*name, label), q, |b, q| {
+                b.iter(|| estimate(q));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_estimate);
+criterion_main!(benches);

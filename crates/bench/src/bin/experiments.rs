@@ -47,11 +47,18 @@ fn main() {
         i += 1;
     }
     if bench_json {
-        // Machine-readable exactdb hot-path run: print the table, write
-        // the JSON next to the working directory for CI/docs to diff.
+        // Machine-readable hot-path runs: print the tables, write the
+        // JSON next to the working directory for CI/docs to diff.
         let report = latest_bench::exact_bench::run(scale);
         print!("{}", report.render_text());
         let path = "BENCH_exactdb.json";
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote {path}");
+        let report = latest_bench::estimator_bench::run(scale);
+        print!("{}", report.render_text());
+        let path = "BENCH_estimators.json";
         if let Err(e) = std::fs::write(path, report.to_json()) {
             die(&format!("cannot write {path}: {e}"));
         }

@@ -507,6 +507,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "model-convergence",
     "ablation",
     "exactdb-bench",
+    "estimator-bench",
 ];
 
 /// Runs one experiment by id.
@@ -528,6 +529,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<String> {
         "model-convergence" => model_convergence(scale),
         "ablation" => ablation(scale),
         "exactdb-bench" => crate::exact_bench::run(scale).render_text(),
+        "estimator-bench" => crate::estimator_bench::run(scale).render_text(),
         _ => return None,
     })
 }
@@ -554,7 +556,7 @@ mod tests {
     #[test]
     fn run_by_name_dispatch() {
         assert!(run_by_name("unknown", Scale::default()).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 16);
+        assert_eq!(ALL_EXPERIMENTS.len(), 17);
     }
 
     #[test]

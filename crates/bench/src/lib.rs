@@ -19,6 +19,7 @@
 //! paper's qualitative shapes.
 
 pub mod driver;
+pub mod estimator_bench;
 pub mod exact_bench;
 pub mod experiments;
 pub mod report;

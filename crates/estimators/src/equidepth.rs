@@ -9,16 +9,21 @@
 //! advantage over equi-width binning — at the cost of periodic boundary
 //! rebuilds as the window slides.
 //!
+//! The boundary sample lives in a shared [`SampleStore`] with the posting
+//! index disabled: this estimator never answers keyword predicates from
+//! the sample, so it skips that upkeep and rebuilds read the coordinate
+//! columns directly.
+//!
 //! This estimator is **not** part of the paper's six-estimator pool (the
 //! pool is pluggable, §IV: "system administrators can select a different
 //! set of estimators"); it ships as a library extension with the same
 //! [`SelectivityEstimator`] interface so downstream users can swap it in.
 
+use crate::store::SampleStore;
 use crate::traits::{EstimatorConfig, EstimatorKind, SelectivityEstimator};
-use geostream::{GeoTextObject, ObjectId, Point, QueryType, RcDvq, Rect};
+use geostream::{GeoTextObject, Point, QueryType, RcDvq, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Boundary rebuilds happen after this fraction of the (sampled) window
 /// has churned.
@@ -36,8 +41,7 @@ pub struct EquiDepthGrid {
     cells: Vec<f64>,
     /// Location sample the boundaries are computed from (reservoir over
     /// the live window).
-    sample: Vec<GeoTextObject>,
-    slots: HashMap<ObjectId, usize>,
+    store: SampleStore,
     sample_capacity: usize,
     seen: u64,
     churn_since_rebuild: u64,
@@ -56,8 +60,7 @@ impl EquiDepthGrid {
             x_bounds: Vec::new(),
             y_bounds: Vec::new(),
             cells: vec![0.0; side * side],
-            sample: Vec::new(),
-            slots: HashMap::new(),
+            store: SampleStore::new(false),
             sample_capacity: (config.scaled_reservoir() / 8).max(256),
             seen: 0,
             churn_since_rebuild: 0,
@@ -74,6 +77,11 @@ impl EquiDepthGrid {
     /// Whether quantile boundaries have been computed yet.
     pub fn has_boundaries(&self) -> bool {
         !self.x_bounds.is_empty()
+    }
+
+    /// The backing sample store (read access for diagnostics and tests).
+    pub fn store(&self) -> &SampleStore {
+        &self.store
     }
 
     /// Column index of `x` under the current boundaries.
@@ -125,11 +133,11 @@ impl EquiDepthGrid {
     /// population.
     fn rebuild(&mut self) {
         self.churn_since_rebuild = 0;
-        if self.sample.is_empty() {
+        if self.store.is_empty() {
             return;
         }
-        let mut xs: Vec<f64> = self.sample.iter().map(|o| o.loc.x).collect();
-        let mut ys: Vec<f64> = self.sample.iter().map(|o| o.loc.y).collect();
+        let mut xs: Vec<f64> = self.store.xs().to_vec();
+        let mut ys: Vec<f64> = self.store.ys().to_vec();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
         ys.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
         let quantile = |sorted: &[f64], q: f64| {
@@ -143,12 +151,10 @@ impl EquiDepthGrid {
             .map(|i| quantile(&ys, i as f64 / self.side as f64))
             .collect();
         // Re-bin the sample and scale to the live population.
-        self.cells.iter_mut().for_each(|c| *c = 0.0);
-        let scale = self.population as f64 / self.sample.len() as f64;
-        // Borrow dance: compute cells from immutable self data.
+        let scale = self.population as f64 / self.store.len() as f64;
         let mut counts = vec![0.0f64; self.side * self.side];
-        for o in &self.sample {
-            let idx = self.row(o.loc.y) * self.side + self.col(o.loc.x);
+        for (&x, &y) in self.store.xs().iter().zip(self.store.ys()) {
+            let idx = self.row(y) * self.side + self.col(x);
             counts[idx] += scale;
         }
         self.cells = counts;
@@ -196,16 +202,12 @@ impl SelectivityEstimator for EquiDepthGrid {
         self.seen += 1;
         self.churn_since_rebuild += 1;
         // Maintain the boundary sample (algorithm R).
-        if self.sample.len() < self.sample_capacity {
-            self.slots.insert(obj.oid, self.sample.len());
-            self.sample.push(obj.clone());
+        if self.store.len() < self.sample_capacity {
+            self.store.push(obj);
         } else {
             let j = self.rng.gen_range(0..self.seen);
             if (j as usize) < self.sample_capacity {
-                let slot = j as usize;
-                self.slots.remove(&self.sample[slot].oid);
-                self.slots.insert(obj.oid, slot);
-                self.sample[slot] = obj.clone();
+                self.store.replace(j as u32, obj);
             }
         }
         if self.has_boundaries() {
@@ -222,14 +224,7 @@ impl SelectivityEstimator for EquiDepthGrid {
     fn remove(&mut self, obj: &GeoTextObject) {
         self.population = self.population.saturating_sub(1);
         self.churn_since_rebuild += 1;
-        if let Some(slot) = self.slots.remove(&obj.oid) {
-            let last = self.sample.len() - 1;
-            self.sample.swap(slot, last);
-            self.sample.pop();
-            if slot < self.sample.len() {
-                self.slots.insert(self.sample[slot].oid, slot);
-            }
-        }
+        self.store.remove(obj.oid);
         if self.has_boundaries() {
             let idx = self.cell_of(&obj.loc);
             self.cells[idx] = (self.cells[idx] - 1.0).max(0.0);
@@ -253,11 +248,7 @@ impl SelectivityEstimator for EquiDepthGrid {
     fn memory_bytes(&self) -> usize {
         self.cells.len() * std::mem::size_of::<f64>()
             + (self.x_bounds.len() + self.y_bounds.len()) * std::mem::size_of::<f64>()
-            + self
-                .sample
-                .iter()
-                .map(GeoTextObject::approx_bytes)
-                .sum::<usize>()
+            + self.store.memory_bytes()
             + std::mem::size_of::<Self>()
     }
 
@@ -265,8 +256,7 @@ impl SelectivityEstimator for EquiDepthGrid {
         self.cells.iter_mut().for_each(|c| *c = 0.0);
         self.x_bounds.clear();
         self.y_bounds.clear();
-        self.sample.clear();
-        self.slots.clear();
+        self.store.clear();
         self.seen = 0;
         self.churn_since_rebuild = 0;
         self.population = 0;
@@ -280,7 +270,7 @@ impl SelectivityEstimator for EquiDepthGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geostream::Timestamp;
+    use geostream::{ObjectId, Timestamp};
 
     fn config(side_cells: usize) -> EstimatorConfig {
         EstimatorConfig {

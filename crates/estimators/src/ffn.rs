@@ -129,7 +129,8 @@ impl SelectivityEstimator for FfnEstimator {
             return 0.0;
         }
         let features = self.features(query);
-        let y = self.net.infer(&features)[0];
+        // Zero-allocation inference: `estimate` sits on the query hot path.
+        let y = self.net.infer_one(&features);
         Self::expand(y).min(self.population as f64)
     }
 

@@ -28,6 +28,7 @@ pub mod nn;
 pub mod reservoir;
 pub mod reservoir_hash;
 pub mod spn;
+pub mod store;
 mod traits;
 pub mod windowed;
 

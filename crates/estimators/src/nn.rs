@@ -56,24 +56,25 @@ impl DenseLayer {
         }
     }
 
-    /// Backpropagates `delta` (∂L/∂z of this layer), applying an SGD-with-
-    /// momentum update, and returns ∂L/∂activation of the previous layer.
+    /// Backpropagates `delta_out` (∂L/∂activation of this layer), applying
+    /// an SGD-with-momentum update, and writes ∂L/∂activation of the
+    /// previous layer into `din` (a reused scratch buffer — no per-step
+    /// allocation).
     fn backward(
         &mut self,
         input: &[f64],
         output: &[f64],
         delta_out: &[f64],
+        din: &mut Vec<f64>,
         lr: f64,
         momentum: f64,
-    ) -> Vec<f64> {
-        // ∂L/∂z: for sigmoid layers scale by σ'(z) = y(1−y).
-        let dz: Vec<f64> = delta_out
-            .iter()
-            .zip(output)
-            .map(|(&d, &y)| if self.linear { d } else { d * y * (1.0 - y) })
-            .collect();
-        let mut din = vec![0.0; self.inputs];
-        for (o, &dz_o) in dz.iter().enumerate() {
+    ) {
+        din.clear();
+        din.resize(self.inputs, 0.0);
+        for o in 0..self.outputs {
+            // ∂L/∂z: for sigmoid layers scale by σ'(z) = y(1−y).
+            let (d, y) = (delta_out[o], output[o]);
+            let dz_o = if self.linear { d } else { d * y * (1.0 - y) };
             for i in 0..self.inputs {
                 let idx = o * self.inputs + i;
                 din[i] += self.weights[idx] * dz_o;
@@ -84,8 +85,14 @@ impl DenseLayer {
             self.b_vel[o] = momentum * self.b_vel[o] - lr * dz_o;
             self.biases[o] += self.b_vel[o];
         }
-        din
     }
+}
+
+/// Reused activation buffers for read-only (`&self`) inference.
+#[derive(Debug, Clone, Default)]
+struct InferScratch {
+    cur: Vec<f64>,
+    next: Vec<f64>,
 }
 
 /// A small multilayer perceptron: sigmoid hidden layers, linear output,
@@ -97,6 +104,12 @@ pub struct Mlp {
     momentum: f64,
     /// Reused activation buffers, one per layer boundary.
     activations: Vec<Vec<f64>>,
+    /// Reused backprop delta buffers (current layer / previous layer).
+    delta: Vec<f64>,
+    delta_prev: Vec<f64>,
+    /// Inference buffers behind a `RefCell` so `&self` estimate paths run
+    /// without heap allocation.
+    scratch: std::cell::RefCell<InferScratch>,
 }
 
 impl Mlp {
@@ -113,11 +126,18 @@ impl Mlp {
             .map(|(i, w)| DenseLayer::new(w[0], w[1], i == widths.len() - 2, &mut rng))
             .collect();
         let activations = widths.iter().map(|&w| Vec::with_capacity(w)).collect();
+        let max_width = widths.iter().copied().max().expect("non-empty widths");
         Mlp {
             layers,
             lr,
             momentum,
             activations,
+            delta: Vec::with_capacity(max_width),
+            delta_prev: Vec::with_capacity(max_width),
+            scratch: std::cell::RefCell::new(InferScratch {
+                cur: Vec::with_capacity(max_width),
+                next: Vec::with_capacity(max_width),
+            }),
         }
     }
 
@@ -138,30 +158,63 @@ impl Mlp {
         self.activations.last().expect("has layers")
     }
 
-    /// Immutable forward pass with local buffers — for read-only callers
-    /// (e.g. `estimate` paths that only hold `&self`).
-    pub fn infer(&self, input: &[f64]) -> Vec<f64> {
-        let mut current = input.to_vec();
-        let mut next = Vec::new();
+    /// Fills `scratch.cur` with the network output for `input` — shared
+    /// engine of the `&self` inference paths; allocation-free after the
+    /// buffers warm up.
+    fn run_inference(&self, input: &[f64], scratch: &mut InferScratch) {
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(input);
         for layer in &self.layers {
-            layer.forward(&current, &mut next);
-            std::mem::swap(&mut current, &mut next);
+            layer.forward(&scratch.cur, &mut scratch.next);
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
         }
-        current
+    }
+
+    /// Immutable forward pass — for read-only callers (e.g. `estimate`
+    /// paths that only hold `&self`). Allocates the returned vector; use
+    /// [`Mlp::infer_one`] on hot paths.
+    pub fn infer(&self, input: &[f64]) -> Vec<f64> {
+        let mut scratch = self.scratch.borrow_mut();
+        self.run_inference(input, &mut scratch);
+        scratch.cur.clone()
+    }
+
+    /// Immutable forward pass returning the first output — zero heap
+    /// allocation (reuses the internal scratch buffers), bit-identical to
+    /// [`Mlp::forward`] / [`Mlp::infer`].
+    pub fn infer_one(&self, input: &[f64]) -> f64 {
+        let mut scratch = self.scratch.borrow_mut();
+        self.run_inference(input, &mut scratch);
+        scratch.cur[0]
     }
 
     /// One online SGD step on `(input, target)`. Returns the squared error
     /// before the update.
     pub fn train(&mut self, input: &[f64], target: &[f64]) -> f64 {
-        let output = self.forward(input).to_vec();
+        self.forward(input);
+        let output = self.activations.last().expect("has layers");
         debug_assert_eq!(output.len(), target.len());
-        let mut delta: Vec<f64> = output.iter().zip(target).map(|(y, t)| y - t).collect();
+        // Reused delta buffers: no clones of the activation vectors (the
+        // layer borrow is disjoint from the activation borrow) and no
+        // per-step allocation.
+        let mut delta = std::mem::take(&mut self.delta);
+        let mut delta_prev = std::mem::take(&mut self.delta_prev);
+        delta.clear();
+        delta.extend(output.iter().zip(target).map(|(y, t)| y - t));
         let loss: f64 = delta.iter().map(|d| d * d).sum();
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
-            let input_act = self.activations[i].clone();
-            let output_act = self.activations[i + 1].clone();
-            delta = layer.backward(&input_act, &output_act, &delta, self.lr, self.momentum);
+            layer.backward(
+                &self.activations[i],
+                &self.activations[i + 1],
+                &delta,
+                &mut delta_prev,
+                self.lr,
+                self.momentum,
+            );
+            std::mem::swap(&mut delta, &mut delta_prev);
         }
+        self.delta = delta;
+        self.delta_prev = delta_prev;
         loss
     }
 
@@ -245,6 +298,23 @@ mod tests {
             last = mlp.train(&[0.7], &[0.9]);
         }
         assert!(last < first * 0.1, "loss did not shrink: {first} → {last}");
+    }
+
+    #[test]
+    fn infer_paths_bit_identical_to_forward() {
+        // Train a bit so weights are non-trivial, then every inference
+        // path must agree to the last bit on a fixed seed.
+        let mut mlp = Mlp::new(&[3, 7, 2], 0.3, 0.2, 11);
+        for step in 0..50 {
+            let t = step as f64 / 50.0;
+            mlp.train(&[t, 1.0 - t, 0.5], &[t, t * t]);
+        }
+        let input = [0.21, -0.4, 0.87];
+        let by_forward = mlp.forward(&input).to_vec();
+        let by_infer = mlp.infer(&input);
+        let one = mlp.infer_one(&input);
+        assert_eq!(by_forward, by_infer);
+        assert_eq!(by_forward[0].to_bits(), one.to_bits());
     }
 
     #[test]

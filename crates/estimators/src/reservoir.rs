@@ -5,23 +5,23 @@
 //! probability `N/i`. Window eviction retracts expired samples, so the
 //! reservoir stays an (approximately) uniform sample of the *live window*.
 //!
-//! An estimate scans the whole sample and scales the match fraction by the
-//! window population — accurate for every predicate combination (samples
-//! carry full objects), but linear in the sample size, which is why RSL
-//! shows the highest latencies among the sampling estimators in the paper.
+//! An estimate counts matching samples and scales the fraction by the
+//! window population. The sample lives in a shared [`SampleStore`]:
+//! spatial predicates stream the coordinate columns through the chunked
+//! kernel, keyword predicates answer from the sample-local posting index,
+//! and hybrid predicates take the cost-fused path — the scan the paper
+//! charges RSL for is gone from the query path.
 
+use crate::store::SampleStore;
 use crate::traits::{EstimatorConfig, EstimatorKind, SelectivityEstimator};
-use geostream::{GeoTextObject, ObjectId, RcDvq};
+use geostream::{GeoTextObject, RcDvq};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Algorithm-R reservoir sample of the window.
 pub struct ReservoirList {
     capacity: usize,
-    sample: Vec<GeoTextObject>,
-    /// `oid → slot` for O(1) retraction of evicted objects.
-    slots: HashMap<ObjectId, usize>,
+    store: SampleStore,
     /// Arrivals seen since the reservoir was last (re)started; drives the
     /// algorithm-R replacement probability.
     seen: u64,
@@ -37,8 +37,7 @@ impl ReservoirList {
         let capacity = config.scaled_reservoir();
         ReservoirList {
             capacity,
-            sample: Vec::with_capacity(capacity.min(1 << 20)),
-            slots: HashMap::new(),
+            store: SampleStore::with_capacity(capacity.min(1 << 20), true),
             seen: 0,
             population: 0,
             rng: StdRng::seed_from_u64(config.seed ^ 0x5151),
@@ -52,28 +51,29 @@ impl ReservoirList {
 
     /// Current number of sampled objects.
     pub fn sample_len(&self) -> usize {
-        self.sample.len()
+        self.store.len()
+    }
+
+    /// The backing sample store (read access for diagnostics and tests).
+    pub fn store(&self) -> &SampleStore {
+        &self.store
     }
 
     /// Counts sample objects matching `query` and scales to the window
     /// population.
     fn scaled_matches(&self, query: &RcDvq) -> f64 {
-        if self.sample.is_empty() {
+        if self.store.is_empty() {
             return 0.0;
         }
-        let matches = self.sample.iter().filter(|o| query.matches(o)).count();
-        matches as f64 / self.sample.len() as f64 * self.population as f64
+        let matches = self.store.count(query);
+        matches as f64 / self.store.len() as f64 * self.population as f64
     }
 
-    fn place(&mut self, obj: GeoTextObject, slot: usize) {
-        if let Some(old) = self.sample.get(slot) {
-            self.slots.remove(&old.oid);
-        }
-        self.slots.insert(obj.oid, slot);
-        if slot == self.sample.len() {
-            self.sample.push(obj);
+    fn place(&mut self, obj: &GeoTextObject, slot: usize) {
+        if slot == self.store.len() {
+            self.store.push(obj);
         } else {
-            self.sample[slot] = obj;
+            self.store.replace(slot as u32, obj);
         }
     }
 }
@@ -86,28 +86,20 @@ impl SelectivityEstimator for ReservoirList {
     fn insert(&mut self, obj: &GeoTextObject) {
         self.population += 1;
         self.seen += 1;
-        if self.sample.len() < self.capacity {
-            self.place(obj.clone(), self.sample.len());
+        if self.store.len() < self.capacity {
+            self.place(obj, self.store.len());
         } else {
             // Algorithm R: replace a random slot with probability N/seen.
             let j = self.rng.gen_range(0..self.seen);
             if (j as usize) < self.capacity {
-                self.place(obj.clone(), j as usize);
+                self.place(obj, j as usize);
             }
         }
     }
 
     fn remove(&mut self, obj: &GeoTextObject) {
         self.population = self.population.saturating_sub(1);
-        if let Some(slot) = self.slots.remove(&obj.oid) {
-            // Swap-remove keeps the vector dense; fix the moved object's slot.
-            let last = self.sample.len() - 1;
-            self.sample.swap(slot, last);
-            self.sample.pop();
-            if slot < self.sample.len() {
-                self.slots.insert(self.sample[slot].oid, slot);
-            }
-        }
+        self.store.remove(obj.oid);
     }
 
     fn insert_batch(&mut self, objs: &[GeoTextObject]) {
@@ -115,12 +107,11 @@ impl SelectivityEstimator for ReservoirList {
         let mut rest = objs;
         // Fill phase: below capacity, algorithm R places directly and draws
         // no random numbers — hoist that branch out of the hot loop.
-        if self.sample.len() < self.capacity {
-            let take = (self.capacity - self.sample.len()).min(rest.len());
-            self.slots.reserve(take);
+        if self.store.len() < self.capacity {
+            let take = (self.capacity - self.store.len()).min(rest.len());
             for obj in &rest[..take] {
                 self.seen += 1;
-                self.place(obj.clone(), self.sample.len());
+                self.store.push(obj);
             }
             rest = &rest[take..];
         }
@@ -130,7 +121,7 @@ impl SelectivityEstimator for ReservoirList {
             self.seen += 1;
             let j = self.rng.gen_range(0..self.seen);
             if (j as usize) < self.capacity {
-                self.place(obj.clone(), j as usize);
+                self.place(obj, j as usize);
             }
         }
     }
@@ -138,14 +129,7 @@ impl SelectivityEstimator for ReservoirList {
     fn remove_batch(&mut self, objs: &[GeoTextObject]) {
         self.population = self.population.saturating_sub(objs.len() as u64);
         for obj in objs {
-            if let Some(slot) = self.slots.remove(&obj.oid) {
-                let last = self.sample.len() - 1;
-                self.sample.swap(slot, last);
-                self.sample.pop();
-                if slot < self.sample.len() {
-                    self.slots.insert(self.sample[slot].oid, slot);
-                }
-            }
+            self.store.remove(obj.oid);
         }
     }
 
@@ -154,17 +138,11 @@ impl SelectivityEstimator for ReservoirList {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.sample
-            .iter()
-            .map(GeoTextObject::approx_bytes)
-            .sum::<usize>()
-            + self.slots.len() * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
-            + std::mem::size_of::<Self>()
+        self.store.memory_bytes() + std::mem::size_of::<Self>()
     }
 
     fn clear(&mut self) {
-        self.sample.clear();
-        self.slots.clear();
+        self.store.clear();
         self.seen = 0;
         self.population = 0;
     }
@@ -177,7 +155,7 @@ impl SelectivityEstimator for ReservoirList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geostream::{KeywordId, Point, Rect, Timestamp};
+    use geostream::{KeywordId, ObjectId, Point, Rect, Timestamp};
 
     fn config(cap: usize) -> EstimatorConfig {
         EstimatorConfig {
@@ -244,7 +222,7 @@ mod tests {
             r.insert(&obj(i, 0.0, 0.0, &[]));
         }
         let mean: f64 =
-            r.sample.iter().map(|o| o.oid.0 as f64).sum::<f64>() / r.sample_len() as f64;
+            r.store.oids().iter().map(|o| o.0 as f64).sum::<f64>() / r.sample_len() as f64;
         assert!((mean - 5_000.0).abs() < 600.0, "biased sample mean: {mean}");
     }
 
@@ -271,7 +249,7 @@ mod tests {
         let pop_before = r.population();
         let len_before = r.sample_len();
         // Find an id not in the sample.
-        let sampled: std::collections::HashSet<u64> = r.sample.iter().map(|o| o.oid.0).collect();
+        let sampled: std::collections::HashSet<u64> = r.store.oids().iter().map(|o| o.0).collect();
         let missing = (0..1_000).find(|i| !sampled.contains(i)).unwrap();
         r.remove(&obj(missing, 0.0, 0.0, &[]));
         assert_eq!(r.population(), pop_before - 1);
@@ -310,10 +288,9 @@ mod tests {
                 r.remove(&victim);
             }
         }
-        // Every slot entry must point at the object that claims it.
-        for (oid, &slot) in &r.slots {
-            assert_eq!(r.sample[slot].oid, *oid);
+        // Every slot-map entry must point at the object that claims it.
+        for (slot, oid) in r.store.oids().iter().enumerate() {
+            assert_eq!(r.store.slot_of(*oid), Some(slot as u32));
         }
-        assert_eq!(r.slots.len(), r.sample.len());
     }
 }

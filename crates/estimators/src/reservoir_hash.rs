@@ -6,9 +6,15 @@
 //! predicate only scan the sample objects in cells the range touches, which
 //! removes the full-sample iteration overhead — the reason RSH gives RSL's
 //! accuracy at lower latency and is LATEST's default estimator.
+//!
+//! The sample lives in a shared [`SampleStore`]; the grid holds bare `u32`
+//! slot lists over it. Keyword-only queries answer from the store's
+//! posting index, and hybrid queries pick posting-first vs grid-gather by
+//! the store's cost cutover.
 
+use crate::store::{intersects_sorted, SampleStore};
 use crate::traits::{EstimatorConfig, EstimatorKind, SelectivityEstimator};
-use geostream::{GeoTextObject, ObjectId, Point, RcDvq, Rect};
+use geostream::{GeoTextObject, Point, RcDvq, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -18,11 +24,9 @@ pub struct ReservoirHash {
     capacity: usize,
     domain: Rect,
     side: usize,
-    sample: Vec<GeoTextObject>,
-    /// `oid → slot` for O(1) retraction.
-    slots: HashMap<ObjectId, usize>,
+    store: SampleStore,
     /// `cell → slots of sampled objects in the cell`.
-    grid: HashMap<u32, Vec<usize>>,
+    grid: HashMap<u32, Vec<u32>>,
     seen: u64,
     population: u64,
     rng: StdRng,
@@ -37,8 +41,7 @@ impl ReservoirHash {
             capacity,
             domain: config.domain,
             side: config.scaled_grid_side(),
-            sample: Vec::with_capacity(capacity.min(1 << 20)),
-            slots: HashMap::new(),
+            store: SampleStore::with_capacity(capacity.min(1 << 20), true),
             grid: HashMap::new(),
             seen: 0,
             population: 0,
@@ -48,19 +51,33 @@ impl ReservoirHash {
 
     /// Current number of sampled objects.
     pub fn sample_len(&self) -> usize {
-        self.sample.len()
+        self.store.len()
+    }
+
+    /// The backing sample store (read access for diagnostics and tests).
+    pub fn store(&self) -> &SampleStore {
+        &self.store
     }
 
     fn cell_id(&self, p: &Point) -> u32 {
-        let fx = (p.x - self.domain.min_x) / self.domain.width();
-        let fy = (p.y - self.domain.min_y) / self.domain.height();
+        self.cell_id_xy(p.x, p.y)
+    }
+
+    fn cell_id_xy(&self, x: f64, y: f64) -> u32 {
+        let fx = (x - self.domain.min_x) / self.domain.width();
+        let fy = (y - self.domain.min_y) / self.domain.height();
         let cx = ((fx * self.side as f64) as isize).clamp(0, self.side as isize - 1) as u32;
         let cy = ((fy * self.side as f64) as isize).clamp(0, self.side as isize - 1) as u32;
         cy * self.side as u32 + cx
     }
 
-    fn unlink_from_grid(&mut self, slot: usize) {
-        let cell = self.cell_id(&self.sample[slot].loc);
+    /// Cell of the object currently stored at `slot`.
+    fn cell_of_slot(&self, slot: u32) -> u32 {
+        let s = slot as usize;
+        self.cell_id_xy(self.store.xs()[s], self.store.ys()[s])
+    }
+
+    fn unlink(&mut self, cell: u32, slot: u32) {
         if let Some(v) = self.grid.get_mut(&cell) {
             if let Some(pos) = v.iter().position(|&s| s == slot) {
                 v.swap_remove(pos);
@@ -71,21 +88,19 @@ impl ReservoirHash {
         }
     }
 
-    fn relink_slot(&mut self, slot: usize) {
-        let cell = self.cell_id(&self.sample[slot].loc);
+    fn link(&mut self, cell: u32, slot: u32) {
         self.grid.entry(cell).or_default().push(slot);
     }
 
-    fn place(&mut self, obj: GeoTextObject, slot: usize) {
-        if slot < self.sample.len() {
-            self.unlink_from_grid(slot);
-            self.slots.remove(&self.sample[slot].oid);
-            self.sample[slot] = obj;
+    fn place(&mut self, obj: &GeoTextObject, slot: usize) {
+        if slot < self.store.len() {
+            let cell = self.cell_of_slot(slot as u32);
+            self.unlink(cell, slot as u32);
+            self.store.replace(slot as u32, obj);
         } else {
-            self.sample.push(obj);
+            self.store.push(obj);
         }
-        self.slots.insert(self.sample[slot].oid, slot);
-        self.relink_slot(slot);
+        self.link(self.cell_id(&obj.loc), slot as u32);
     }
 
     /// Cell ids the (clipped) rectangle touches.
@@ -111,6 +126,30 @@ impl ReservoirHash {
         }
         cells
     }
+
+    /// Count of sample objects matching `query` via the grid: gather the
+    /// touched cells' slot lists and test each candidate.
+    fn grid_count(&self, query: &RcDvq, r: &Rect) -> usize {
+        let kws = query.keywords();
+        let mut matches = 0usize;
+        for cell in self.cells_for(r) {
+            let Some(slots) = self.grid.get(&cell) else {
+                continue;
+            };
+            if kws.is_empty() {
+                matches += self.store.count_slots_in_rect(slots, r);
+            } else {
+                for &s in slots {
+                    if self.store.slot_in_rect(s, r)
+                        && intersects_sorted(self.store.keywords(s), kws)
+                    {
+                        matches += 1;
+                    }
+                }
+            }
+        }
+        matches
+    }
 }
 
 impl SelectivityEstimator for ReservoirHash {
@@ -121,70 +160,76 @@ impl SelectivityEstimator for ReservoirHash {
     fn insert(&mut self, obj: &GeoTextObject) {
         self.population += 1;
         self.seen += 1;
-        if self.sample.len() < self.capacity {
-            self.place(obj.clone(), self.sample.len());
+        if self.store.len() < self.capacity {
+            self.place(obj, self.store.len());
         } else {
             let j = self.rng.gen_range(0..self.seen);
             if (j as usize) < self.capacity {
-                self.place(obj.clone(), j as usize);
+                self.place(obj, j as usize);
             }
         }
     }
 
     fn remove(&mut self, obj: &GeoTextObject) {
         self.population = self.population.saturating_sub(1);
-        if let Some(slot) = self.slots.remove(&obj.oid) {
-            self.unlink_from_grid(slot);
-            let last = self.sample.len() - 1;
-            if slot != last {
-                self.unlink_from_grid(last);
-                self.sample.swap(slot, last);
-                self.sample.pop();
-                self.slots.insert(self.sample[slot].oid, slot);
-                self.relink_slot(slot);
-            } else {
-                self.sample.pop();
-            }
+        let Some(slot) = self.store.slot_of(obj.oid) else {
+            return;
+        };
+        // Grid bookkeeping needs cell ids *before* the store swap-removes:
+        // unlink the victim and (if a move happens) the former last slot,
+        // then relink the moved object under its new slot id.
+        let victim_cell = self.cell_of_slot(slot);
+        let last = (self.store.len() - 1) as u32;
+        self.unlink(victim_cell, slot);
+        if slot != last {
+            let moved_cell = self.cell_of_slot(last);
+            self.unlink(moved_cell, last);
+            self.store.remove(obj.oid);
+            self.link(moved_cell, slot);
+        } else {
+            self.store.remove(obj.oid);
         }
     }
 
     fn estimate(&self, query: &RcDvq) -> f64 {
-        if self.sample.is_empty() {
+        if self.store.is_empty() {
             return 0.0;
         }
+        let n = self.store.len();
         let matches = match query.range() {
             Some(r) => {
-                // Grid-assisted scan: only cells the range touches.
-                self.cells_for(r)
-                    .iter()
-                    .filter_map(|c| self.grid.get(c))
-                    .flatten()
-                    .filter(|&&slot| query.matches(&self.sample[slot]))
-                    .count()
+                let kws = query.keywords();
+                // Hybrid cost cutover: a rare keyword's posting union is
+                // cheaper than gathering the touched cells.
+                let posting_first = !kws.is_empty()
+                    && self
+                        .store
+                        .posting_mass(kws)
+                        .is_some_and(|mass| mass * 4 < n);
+                if posting_first {
+                    self.store.count(query)
+                } else {
+                    self.grid_count(query, r)
+                }
             }
-            // Pure keyword query: no spatial pruning possible.
-            None => self.sample.iter().filter(|o| query.matches(o)).count(),
+            // Pure keyword query: no spatial pruning; the posting index
+            // answers without touching the grid.
+            None => self.store.count(query),
         };
-        matches as f64 / self.sample.len() as f64 * self.population as f64
+        matches as f64 / n as f64 * self.population as f64
     }
 
     fn memory_bytes(&self) -> usize {
-        self.sample
-            .iter()
-            .map(GeoTextObject::approx_bytes)
-            .sum::<usize>()
-            + self.slots.len() * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
-            + self
-                .grid
-                .values()
-                .map(|v| v.len() * std::mem::size_of::<usize>() + std::mem::size_of::<u32>())
-                .sum::<usize>()
+        // Every grid entry holds exactly one live slot, so the slot total
+        // equals the sample length — no walk needed.
+        self.store.memory_bytes()
+            + self.store.len() * std::mem::size_of::<u32>()
+            + self.grid.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<Vec<u32>>())
             + std::mem::size_of::<Self>()
     }
 
     fn clear(&mut self) {
-        self.sample.clear();
-        self.slots.clear();
+        self.store.clear();
         self.grid.clear();
         self.seen = 0;
         self.population = 0;
@@ -198,7 +243,7 @@ impl SelectivityEstimator for ReservoirHash {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geostream::{KeywordId, Timestamp};
+    use geostream::{KeywordId, ObjectId, Timestamp};
 
     fn config(cap: usize) -> EstimatorConfig {
         EstimatorConfig {
@@ -250,8 +295,10 @@ mod tests {
         ] {
             let q = RcDvq::hybrid(rect, vec![KeywordId(3)]);
             let grid_est = r.estimate(&q);
-            let full = r.sample.iter().filter(|o| q.matches(o)).count() as f64
-                / r.sample.len() as f64
+            let full = (0..r.store.len() as u32)
+                .filter(|&s| r.store.slot_matches(s, &q))
+                .count() as f64
+                / r.store.len() as f64
                 * r.population() as f64;
             assert!(
                 (grid_est - full).abs() < 1e-9,
@@ -278,14 +325,14 @@ mod tests {
         }
         // Invariants: every slot map entry points at its object, and grid
         // entries cover exactly the sample.
-        for (oid, &slot) in &r.slots {
-            assert_eq!(r.sample[slot].oid, *oid);
+        for (slot, oid) in r.store.oids().iter().enumerate() {
+            assert_eq!(r.store.slot_of(*oid), Some(slot as u32));
         }
         let grid_slots: usize = r.grid.values().map(Vec::len).sum();
-        assert_eq!(grid_slots, r.sample.len());
+        assert_eq!(grid_slots, r.store.len());
         for (cell, slots) in &r.grid {
             for &s in slots {
-                assert_eq!(r.cell_id(&r.sample[s].loc), *cell, "slot in wrong cell");
+                assert_eq!(r.cell_of_slot(s), *cell, "slot in wrong cell");
             }
         }
     }

@@ -14,12 +14,16 @@
 //! and model size — the "very high computational intensity to constantly
 //! update" the paper cites as the SPN's weakness in streams, and the reason
 //! its latency grows linearly with the memory budget (Figure 13).
+//!
+//! The training buffer lives in a shared [`SampleStore`]: rebuilds stream
+//! the coordinate columns, and the pre-model estimate path (before the
+//! first rebuild) answers from the store's kernels instead of a scan.
 
+use crate::store::SampleStore;
 use crate::traits::{EstimatorConfig, EstimatorKind, SelectivityEstimator};
-use geostream::{GeoTextObject, KeywordId, ObjectId, Point, RcDvq, Rect};
+use geostream::{GeoTextObject, KeywordId, Point, RcDvq, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Keyword-bucket count (hashed vocabulary dimension).
 const KW_BUCKETS: usize = 64;
@@ -121,8 +125,7 @@ impl Component {
 pub struct SpnEstimator {
     domain: Rect,
     /// Buffered sample of the live window the model is (re)built from.
-    buffer: Vec<GeoTextObject>,
-    slots: HashMap<ObjectId, usize>,
+    buffer: SampleStore,
     buffer_capacity: usize,
     /// Built mixture model, if a rebuild has happened.
     components: Vec<Component>,
@@ -150,8 +153,7 @@ impl SpnEstimator {
         let bins = 32;
         SpnEstimator {
             domain: config.domain,
-            buffer: Vec::new(),
-            slots: HashMap::new(),
+            buffer: SampleStore::new(true),
             buffer_capacity,
             components: Vec::new(),
             clusters,
@@ -180,29 +182,19 @@ impl SpnEstimator {
         !self.components.is_empty()
     }
 
+    /// The backing sample buffer (read access for diagnostics and tests).
+    pub fn store(&self) -> &SampleStore {
+        &self.buffer
+    }
+
     fn buffer_insert(&mut self, obj: &GeoTextObject) {
         self.seen += 1;
         if self.buffer.len() < self.buffer_capacity {
-            self.slots.insert(obj.oid, self.buffer.len());
-            self.buffer.push(obj.clone());
+            self.buffer.push(obj);
         } else {
             let j = self.rng.gen_range(0..self.seen);
             if (j as usize) < self.buffer_capacity {
-                let slot = j as usize;
-                self.slots.remove(&self.buffer[slot].oid);
-                self.slots.insert(obj.oid, slot);
-                self.buffer[slot] = obj.clone();
-            }
-        }
-    }
-
-    fn buffer_remove(&mut self, oid: ObjectId) {
-        if let Some(slot) = self.slots.remove(&oid) {
-            let last = self.buffer.len() - 1;
-            self.buffer.swap(slot, last);
-            self.buffer.pop();
-            if slot < self.buffer.len() {
-                self.slots.insert(self.buffer[slot].oid, slot);
+                self.buffer.replace(j as u32, obj);
             }
         }
     }
@@ -216,22 +208,25 @@ impl SpnEstimator {
         if self.buffer.is_empty() {
             return;
         }
-        let k = self.clusters.min(self.buffer.len());
+        let (xs, ys) = (self.buffer.xs(), self.buffer.ys());
+        let n = xs.len();
+        let k = self.clusters.min(n);
         // Init centroids from distinct-ish sample positions.
         let mut centroids: Vec<Point> = (0..k)
             .map(|_| {
-                let idx = self.rng.gen_range(0..self.buffer.len());
-                self.buffer[idx].loc
+                let idx = self.rng.gen_range(0..n);
+                Point::new(xs[idx], ys[idx])
             })
             .collect();
-        let mut assignment = vec![0usize; self.buffer.len()];
+        let mut assignment = vec![0usize; n];
         for _ in 0..KMEANS_ITERS {
             // Assign.
-            for (i, obj) in self.buffer.iter().enumerate() {
+            for i in 0..n {
+                let loc = Point::new(xs[i], ys[i]);
                 let mut best = 0;
                 let mut best_d = f64::INFINITY;
                 for (c, centroid) in centroids.iter().enumerate() {
-                    let d = obj.loc.dist_sq(centroid);
+                    let d = loc.dist_sq(centroid);
                     if d < best_d {
                         best_d = d;
                         best = c;
@@ -241,10 +236,10 @@ impl SpnEstimator {
             }
             // Update.
             let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
-            for (i, obj) in self.buffer.iter().enumerate() {
+            for i in 0..n {
                 let s = &mut sums[assignment[i]];
-                s.0 += obj.loc.x;
-                s.1 += obj.loc.y;
+                s.0 += xs[i];
+                s.1 += ys[i];
                 s.2 += 1;
             }
             for (c, s) in sums.iter().enumerate() {
@@ -255,12 +250,8 @@ impl SpnEstimator {
         }
         // Build components.
         for c in 0..k {
-            let members: Vec<&GeoTextObject> = self
-                .buffer
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| assignment[*i] == c)
-                .map(|(_, o)| o)
+            let members: Vec<u32> = (0..n as u32)
+                .filter(|&i| assignment[i as usize] == c)
                 .collect();
             if members.is_empty() {
                 continue;
@@ -269,18 +260,18 @@ impl SpnEstimator {
                 self.domain.min_x,
                 self.domain.max_x,
                 self.bins,
-                members.iter().map(|o| o.loc.x),
+                members.iter().map(|&i| xs[i as usize]),
             );
             let y = AxisHistogram::build(
                 self.domain.min_y,
                 self.domain.max_y,
                 self.bins,
-                members.iter().map(|o| o.loc.y),
+                members.iter().map(|&i| ys[i as usize]),
             );
             let mut kw_probs = vec![0.0; KW_BUCKETS];
-            for o in &members {
+            for &i in &members {
                 let mut hit = [false; KW_BUCKETS];
-                for &kw in o.keywords.iter() {
+                for &kw in self.buffer.keywords(i) {
                     hit[kw_bucket(kw)] = true;
                 }
                 for (b, &h) in hit.iter().enumerate() {
@@ -319,7 +310,7 @@ impl SelectivityEstimator for SpnEstimator {
 
     fn remove(&mut self, obj: &GeoTextObject) {
         self.population = self.population.saturating_sub(1);
-        self.buffer_remove(obj.oid);
+        self.buffer.remove(obj.oid);
     }
 
     fn estimate(&self, query: &RcDvq) -> f64 {
@@ -328,7 +319,7 @@ impl SelectivityEstimator for SpnEstimator {
             if self.buffer.is_empty() {
                 return 0.0;
             }
-            let matches = self.buffer.iter().filter(|o| query.matches(o)).count();
+            let matches = self.buffer.count(query);
             return matches as f64 / self.buffer.len() as f64 * self.population as f64;
         }
         let total_weight: f64 = self.components.iter().map(|c| c.weight).sum();
@@ -344,10 +335,7 @@ impl SelectivityEstimator for SpnEstimator {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.buffer
-            .iter()
-            .map(GeoTextObject::approx_bytes)
-            .sum::<usize>()
+        self.buffer.memory_bytes()
             + self
                 .components
                 .iter()
@@ -361,7 +349,6 @@ impl SelectivityEstimator for SpnEstimator {
 
     fn clear(&mut self) {
         self.buffer.clear();
-        self.slots.clear();
         self.components.clear();
         self.inserts_since_rebuild = 0;
         self.seen = 0;
@@ -376,7 +363,7 @@ impl SelectivityEstimator for SpnEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geostream::Timestamp;
+    use geostream::{ObjectId, Timestamp};
 
     fn config() -> EstimatorConfig {
         EstimatorConfig {
@@ -527,10 +514,9 @@ mod tests {
                 s.remove(&live.remove(0));
             }
         }
-        for (oid, &slot) in &s.slots {
-            assert_eq!(s.buffer[slot].oid, *oid);
+        for (slot, oid) in s.buffer.oids().iter().enumerate() {
+            assert_eq!(s.buffer.slot_of(*oid), Some(slot as u32));
         }
-        assert_eq!(s.slots.len(), s.buffer.len());
         assert_eq!(s.population(), 150);
     }
 }

@@ -1,0 +1,770 @@
+//! Shared structure-of-arrays sample storage for the sampling estimators.
+//!
+//! Every sampling-family estimator (RSL, RSH, equi-depth, windowed, the
+//! SPN training buffer) used to keep its own `Vec<GeoTextObject>` plus an
+//! `oid → slot` `HashMap`, and answered `estimate` by scanning the whole
+//! vector with [`RcDvq::matches`] — a pointer-chasing loop (one
+//! `Arc<[KeywordId]>` deref per object) that dominates query latency at
+//! paper-scale 100K-object reservoirs. [`SampleStore`] replaces that with
+//! parallel arrays addressed by dense `u32` slots:
+//!
+//! * `xs` / `ys` — coordinate columns the spatial kernel streams through
+//!   (64-slot chunks of branch-light compares the compiler can
+//!   auto-vectorize). Coordinates stay `f64`: exhaustive samplers must
+//!   reproduce *exact* match counts (`tests/proptest_invariants.rs` pins
+//!   this), and narrowing to `f32` flips membership for points within one
+//!   ulp of a query boundary.
+//! * `oids` + `slot_of` — identity column and the reverse map for O(1)
+//!   retraction of evicted objects.
+//! * `kw_pool` + `kw_ranges` — one flat keyword-id pool with per-slot
+//!   `(offset, len)` ranges; no per-object allocation, no `Arc` deref.
+//! * an optional sample-local **inverted posting index**: per keyword a
+//!   sorted list of packed `(slot << 32) | generation` entries with lazy
+//!   tombstones, compacted once a quarter of a list is dead (the same
+//!   recipe as `exactdb`'s postings). Pure-keyword counts become
+//!   posting-length lookups; hybrid counts walk the posting union and test
+//!   the rectangle per candidate.
+//!
+//! Slots are kept dense by swap-remove (mirroring the estimators' previous
+//! slot arithmetic exactly, which algorithm-R replacement order depends
+//! on). Because a swap-remove recycles slot ids, posting entries carry a
+//! per-slot **generation**: any mutation of a physical slot bumps
+//! `slot_gen[slot]`, so stale entries can never alias the slot's new
+//! occupant. An entry is live iff `slot < len && slot_gen[slot] == gen`.
+//!
+//! [`SampleStore::count`] fuses the three kernels behind one dispatch:
+//! spatial-only → chunked coordinate scan; keyword-only → posting
+//! lengths / k-way union merge; hybrid → posting-first when the union mass
+//! is below a quarter of the sample, full scan otherwise.
+
+use geostream::{GeoTextObject, KeywordId, ObjectId, RcDvq, Rect};
+use std::collections::HashMap;
+
+/// Spatial-kernel chunk width (slots per inner loop).
+const CHUNK: usize = 64;
+
+/// Hybrid cost cutover: go posting-first when the union posting mass is
+/// below `len / POSTING_CUTOVER_DIV`.
+const POSTING_CUTOVER_DIV: usize = 4;
+
+/// Keyword-pool compaction threshold: rebuild once more than half the pool
+/// is garbage (and the pool is big enough to bother).
+const POOL_MIN_COMPACT: usize = 64;
+
+/// One keyword's posting list: packed `(slot << 32) | generation` entries,
+/// sorted ascending (slot-major), with an exact count of dead entries.
+#[derive(Debug, Default)]
+struct PostingList {
+    entries: Vec<u64>,
+    dead: u32,
+}
+
+/// Sample-local inverted index over the store's keyword column.
+#[derive(Debug, Default)]
+struct PostingIndex {
+    map: HashMap<KeywordId, PostingList>,
+    /// Total entries across all lists (live + dead) — keeps
+    /// [`SampleStore::memory_bytes`] O(1).
+    total_entries: usize,
+    compactions: u64,
+}
+
+#[inline]
+fn pack(slot: u32, gen: u32) -> u64 {
+    ((slot as u64) << 32) | gen as u64
+}
+
+#[inline]
+fn entry_slot(e: u64) -> u32 {
+    (e >> 32) as u32
+}
+
+#[inline]
+fn entry_gen(e: u64) -> u32 {
+    e as u32
+}
+
+impl PostingIndex {
+    fn post(&mut self, kw: KeywordId, slot: u32, gen: u32) {
+        let e = pack(slot, gen);
+        let list = self.map.entry(kw).or_default();
+        if let Err(pos) = list.entries.binary_search(&e) {
+            list.entries.insert(pos, e);
+            self.total_entries += 1;
+        }
+    }
+
+    /// Marks the entry `(slot, gen)` of `kw` dead; compacts the list at
+    /// 25% garbage. The stale entry is located exactly (binary search on
+    /// the packed key): a compaction triggered mid-operation may already
+    /// have dropped it physically, and blindly bumping `dead` then would
+    /// leave the counter permanently over live mass.
+    fn tombstone(&mut self, kw: KeywordId, slot: u32, gen: u32, slot_gen: &[u32], live_len: usize) {
+        let mut now_empty = false;
+        if let Some(list) = self.map.get_mut(&kw) {
+            if list.entries.binary_search(&pack(slot, gen)).is_err() {
+                return; // already compacted away
+            }
+            list.dead += 1;
+            if list.dead as usize * 4 >= list.entries.len() {
+                let before = list.entries.len();
+                list.entries.retain(|&e| {
+                    let s = entry_slot(e) as usize;
+                    s < live_len && slot_gen[s] == entry_gen(e)
+                });
+                self.total_entries -= before - list.entries.len();
+                list.dead = 0;
+                self.compactions += 1;
+                now_empty = list.entries.is_empty();
+            }
+        }
+        if now_empty {
+            self.map.remove(&kw);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.total_entries = 0;
+    }
+}
+
+/// Structure-of-arrays storage for a dense, swap-removed object sample.
+pub struct SampleStore {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    oids: Vec<ObjectId>,
+    /// Per-slot `(offset, len)` into `kw_pool`.
+    kw_ranges: Vec<(u32, u32)>,
+    kw_pool: Vec<KeywordId>,
+    /// Dead keyword ids still occupying `kw_pool`.
+    kw_garbage: usize,
+    slot_of: HashMap<ObjectId, u32>,
+    /// High-water generation per physical slot; never decreases while the
+    /// store holds data, so recycled slots cannot alias stale postings.
+    slot_gen: Vec<u32>,
+    postings: Option<PostingIndex>,
+}
+
+impl SampleStore {
+    /// An empty store. `with_postings` enables the sample-local inverted
+    /// index (estimators that never answer keyword predicates from the
+    /// sample — e.g. the equi-depth grid — skip its upkeep cost).
+    pub fn new(with_postings: bool) -> Self {
+        SampleStore {
+            xs: Vec::new(),
+            ys: Vec::new(),
+            oids: Vec::new(),
+            kw_ranges: Vec::new(),
+            kw_pool: Vec::new(),
+            kw_garbage: 0,
+            slot_of: HashMap::new(),
+            slot_gen: Vec::new(),
+            postings: with_postings.then(PostingIndex::default),
+        }
+    }
+
+    /// Like [`SampleStore::new`] with pre-sized columns.
+    pub fn with_capacity(cap: usize, with_postings: bool) -> Self {
+        let mut s = Self::new(with_postings);
+        s.xs.reserve(cap);
+        s.ys.reserve(cap);
+        s.oids.reserve(cap);
+        s.kw_ranges.reserve(cap);
+        s
+    }
+
+    /// Number of stored objects (dense: slots are `0..len`).
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The x-coordinate column.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y-coordinate column.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The object-id column.
+    pub fn oids(&self) -> &[ObjectId] {
+        &self.oids
+    }
+
+    /// The (sorted, deduped) keywords of `slot`.
+    pub fn keywords(&self, slot: u32) -> &[KeywordId] {
+        let (off, len) = self.kw_ranges[slot as usize];
+        &self.kw_pool[off as usize..(off + len) as usize]
+    }
+
+    /// Slot of `oid`, if sampled.
+    pub fn slot_of(&self, oid: ObjectId) -> Option<u32> {
+        self.slot_of.get(&oid).copied()
+    }
+
+    /// Posting-list compactions performed so far (diagnostics).
+    pub fn compactions(&self) -> u64 {
+        self.postings.as_ref().map_or(0, |p| p.compactions)
+    }
+
+    /// Appends `obj` at slot `len`, returning its slot.
+    pub fn push(&mut self, obj: &GeoTextObject) -> u32 {
+        let slot = self.xs.len() as u32;
+        self.xs.push(obj.loc.x);
+        self.ys.push(obj.loc.y);
+        self.oids.push(obj.oid);
+        let off = self.kw_pool.len() as u32;
+        self.kw_pool.extend_from_slice(&obj.keywords);
+        self.kw_ranges.push((off, obj.keywords.len() as u32));
+        if self.slot_gen.len() <= slot as usize {
+            self.slot_gen.push(0);
+        }
+        self.slot_of.insert(obj.oid, slot);
+        if let Some(p) = self.postings.as_mut() {
+            let gen = self.slot_gen[slot as usize];
+            for &kw in obj.keywords.iter() {
+                p.post(kw, slot, gen);
+            }
+        }
+        slot
+    }
+
+    /// Overwrites `slot` with `obj` (algorithm-R replacement).
+    pub fn replace(&mut self, slot: u32, obj: &GeoTextObject) {
+        let s = slot as usize;
+        let (old_off, old_len) = self.kw_ranges[s];
+        let old_gen = self.slot_gen[s];
+        self.slot_of.remove(&self.oids[s]);
+        self.slot_gen[s] = self.slot_gen[s].wrapping_add(1);
+        self.xs[s] = obj.loc.x;
+        self.ys[s] = obj.loc.y;
+        self.oids[s] = obj.oid;
+        let off = self.kw_pool.len() as u32;
+        self.kw_pool.extend_from_slice(&obj.keywords);
+        self.kw_ranges[s] = (off, obj.keywords.len() as u32);
+        self.slot_of.insert(obj.oid, slot);
+        if let Some(p) = self.postings.as_mut() {
+            let gen = self.slot_gen[s];
+            for &kw in obj.keywords.iter() {
+                p.post(kw, slot, gen);
+            }
+            let live_len = self.xs.len();
+            for i in old_off..old_off + old_len {
+                p.tombstone(
+                    self.kw_pool[i as usize],
+                    slot,
+                    old_gen,
+                    &self.slot_gen,
+                    live_len,
+                );
+            }
+        }
+        self.kw_garbage += old_len as usize;
+        self.maybe_compact_pool();
+    }
+
+    /// Removes `oid` by swap-remove, returning its (former) slot. The
+    /// object previously at the last slot, if any, moves into it — exactly
+    /// the slot arithmetic the estimators' old `Vec` + `HashMap` pairs
+    /// performed.
+    pub fn remove(&mut self, oid: ObjectId) -> Option<u32> {
+        let slot = self.slot_of.remove(&oid)? as usize;
+        let (gone_off, gone_len) = self.kw_ranges[slot];
+        let last = self.xs.len() - 1;
+        if slot != last {
+            let (moved_off, moved_len) = self.kw_ranges[last];
+            let moved_oid = self.oids[last];
+            let victim_gen = self.slot_gen[slot];
+            let moved_old_gen = self.slot_gen[last];
+            self.xs[slot] = self.xs[last];
+            self.ys[slot] = self.ys[last];
+            self.oids[slot] = moved_oid;
+            self.kw_ranges[slot] = (moved_off, moved_len);
+            self.slot_of.insert(moved_oid, slot as u32);
+            self.slot_gen[slot] = self.slot_gen[slot].wrapping_add(1);
+            self.slot_gen[last] = self.slot_gen[last].wrapping_add(1);
+            self.pop_columns();
+            if let Some(p) = self.postings.as_mut() {
+                let gen = self.slot_gen[slot];
+                let live_len = self.xs.len();
+                // Re-post the moved object at its new slot, then tombstone
+                // both its stale entries (at `last`) and the victim's.
+                for i in moved_off..moved_off + moved_len {
+                    p.post(self.kw_pool[i as usize], slot as u32, gen);
+                }
+                for i in moved_off..moved_off + moved_len {
+                    p.tombstone(
+                        self.kw_pool[i as usize],
+                        last as u32,
+                        moved_old_gen,
+                        &self.slot_gen,
+                        live_len,
+                    );
+                }
+                for i in gone_off..gone_off + gone_len {
+                    p.tombstone(
+                        self.kw_pool[i as usize],
+                        slot as u32,
+                        victim_gen,
+                        &self.slot_gen,
+                        live_len,
+                    );
+                }
+            }
+        } else {
+            let victim_gen = self.slot_gen[slot];
+            self.slot_gen[slot] = self.slot_gen[slot].wrapping_add(1);
+            self.pop_columns();
+            if let Some(p) = self.postings.as_mut() {
+                let live_len = self.xs.len();
+                for i in gone_off..gone_off + gone_len {
+                    p.tombstone(
+                        self.kw_pool[i as usize],
+                        slot as u32,
+                        victim_gen,
+                        &self.slot_gen,
+                        live_len,
+                    );
+                }
+            }
+        }
+        self.kw_garbage += gone_len as usize;
+        self.maybe_compact_pool();
+        Some(slot as u32)
+    }
+
+    fn pop_columns(&mut self) {
+        self.xs.pop();
+        self.ys.pop();
+        self.oids.pop();
+        self.kw_ranges.pop();
+    }
+
+    fn maybe_compact_pool(&mut self) {
+        if self.kw_pool.len() < POOL_MIN_COMPACT || self.kw_garbage * 2 <= self.kw_pool.len() {
+            return;
+        }
+        let mut pool = Vec::with_capacity(self.kw_pool.len() - self.kw_garbage);
+        for r in self.kw_ranges.iter_mut() {
+            let (off, len) = *r;
+            let start = pool.len() as u32;
+            pool.extend_from_slice(&self.kw_pool[off as usize..(off + len) as usize]);
+            *r = (start, len);
+        }
+        self.kw_pool = pool;
+        self.kw_garbage = 0;
+    }
+
+    /// Drops all contents (capacities retained).
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.oids.clear();
+        self.kw_ranges.clear();
+        self.kw_pool.clear();
+        self.kw_garbage = 0;
+        self.slot_of.clear();
+        // Safe to reset: the postings that generations guard are gone too.
+        self.slot_gen.clear();
+        if let Some(p) = self.postings.as_mut() {
+            p.clear();
+        }
+    }
+
+    // ---- match kernels ------------------------------------------------
+
+    /// Whether `slot` falls inside `r`.
+    #[inline]
+    pub fn slot_in_rect(&self, slot: u32, r: &Rect) -> bool {
+        let s = slot as usize;
+        let (x, y) = (self.xs[s], self.ys[s]);
+        x >= r.min_x && x <= r.max_x && y >= r.min_y && y <= r.max_y
+    }
+
+    /// Whether `slot` satisfies both of `query`'s predicates.
+    pub fn slot_matches(&self, slot: u32, query: &RcDvq) -> bool {
+        if let Some(r) = query.range() {
+            if !self.slot_in_rect(slot, r) {
+                return false;
+            }
+        }
+        let kws = query.keywords();
+        kws.is_empty() || intersects_sorted(self.keywords(slot), kws)
+    }
+
+    /// Chunked branch-light spatial kernel: counts slots inside `r` by
+    /// streaming the coordinate columns in `CHUNK`-slot blocks of
+    /// compare-and-accumulate — no branches, no `Arc` derefs, fully
+    /// auto-vectorizable.
+    pub fn count_in_rect(&self, r: &Rect) -> usize {
+        let mut total = 0usize;
+        for (cx, cy) in self.xs.chunks(CHUNK).zip(self.ys.chunks(CHUNK)) {
+            let mut c = 0u32;
+            for (&x, &y) in cx.iter().zip(cy.iter()) {
+                c += (x >= r.min_x) as u32
+                    & (x <= r.max_x) as u32
+                    & (y >= r.min_y) as u32
+                    & (y <= r.max_y) as u32;
+            }
+            total += c as usize;
+        }
+        total
+    }
+
+    /// Gather variant of the spatial kernel for externally indexed slot
+    /// lists (e.g. RSH's grid cells).
+    pub fn count_slots_in_rect(&self, slots: &[u32], r: &Rect) -> usize {
+        let mut c = 0usize;
+        for &s in slots {
+            c += self.slot_in_rect(s, r) as usize;
+        }
+        c
+    }
+
+    /// Live posting mass of the keyword union (`None` when postings are
+    /// disabled) — the cost model input for the hybrid cutover.
+    pub fn posting_mass(&self, kws: &[KeywordId]) -> Option<usize> {
+        let p = self.postings.as_ref()?;
+        Some(
+            kws.iter()
+                .filter_map(|k| p.map.get(k))
+                .map(|l| l.entries.len() - l.dead as usize)
+                .sum(),
+        )
+    }
+
+    /// Visits each live slot whose object carries ≥1 of `kws`, exactly
+    /// once, via a k-way merge over the sorted posting lists.
+    fn for_each_union_slot(&self, kws: &[KeywordId], mut visit: impl FnMut(u32)) {
+        let Some(p) = self.postings.as_ref() else {
+            return;
+        };
+        let live_len = self.xs.len();
+        let live = |e: u64| {
+            let s = entry_slot(e) as usize;
+            s < live_len && self.slot_gen[s] == entry_gen(e)
+        };
+        let lists: Vec<&[u64]> = kws
+            .iter()
+            .filter_map(|k| p.map.get(k))
+            .map(|l| l.entries.as_slice())
+            .collect();
+        match lists.len() {
+            0 => {}
+            1 => {
+                for &e in lists[0] {
+                    if live(e) {
+                        visit(entry_slot(e));
+                    }
+                }
+            }
+            _ => {
+                let mut pos = vec![0usize; lists.len()];
+                loop {
+                    let mut min_slot = u32::MAX;
+                    for (cursor, list) in pos.iter_mut().zip(&lists) {
+                        while *cursor < list.len() {
+                            let e = list[*cursor];
+                            if live(e) {
+                                min_slot = min_slot.min(entry_slot(e));
+                                break;
+                            }
+                            *cursor += 1; // dead: skip permanently
+                        }
+                    }
+                    if min_slot == u32::MAX {
+                        break;
+                    }
+                    visit(min_slot);
+                    for (cursor, list) in pos.iter_mut().zip(&lists) {
+                        while *cursor < list.len() && entry_slot(list[*cursor]) <= min_slot {
+                            *cursor += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fused count of slots matching `query`, routed through the cheapest
+    /// kernel: chunked scan (spatial-only), posting lengths / k-way union
+    /// (keyword-only), or a posting-first vs scan-first hybrid chosen by
+    /// the `mass < len/4` cutover.
+    pub fn count(&self, query: &RcDvq) -> usize {
+        let n = self.len();
+        if n == 0 {
+            return 0;
+        }
+        let kws = query.keywords();
+        match query.range() {
+            Some(r) if kws.is_empty() => self.count_in_rect(r),
+            Some(r) => {
+                if let Some(mass) = self.posting_mass(kws) {
+                    if mass * POSTING_CUTOVER_DIV < n {
+                        let mut c = 0usize;
+                        self.for_each_union_slot(kws, |s| c += self.slot_in_rect(s, r) as usize);
+                        return c;
+                    }
+                }
+                let mut c = 0usize;
+                for s in 0..n as u32 {
+                    if self.slot_in_rect(s, r) && intersects_sorted(self.keywords(s), kws) {
+                        c += 1;
+                    }
+                }
+                c
+            }
+            None => {
+                if let Some(p) = self.postings.as_ref() {
+                    if kws.len() == 1 {
+                        return p
+                            .map
+                            .get(&kws[0])
+                            .map_or(0, |l| l.entries.len() - l.dead as usize);
+                    }
+                    let mut c = 0usize;
+                    self.for_each_union_slot(kws, |_| c += 1);
+                    return c;
+                }
+                (0..n as u32)
+                    .filter(|&s| intersects_sorted(self.keywords(s), kws))
+                    .count()
+            }
+        }
+    }
+
+    // ---- memory accounting --------------------------------------------
+
+    /// Heap bytes, O(1): every term comes from a column length or a
+    /// maintained counter.
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes_with_posting_entries(self.postings.as_ref().map_or(0, |p| p.total_entries))
+    }
+
+    /// Heap bytes recomputed by walking every posting list — O(total
+    /// entries); exists to verify the maintained counter in tests.
+    pub fn recompute_memory_bytes(&self) -> usize {
+        self.bytes_with_posting_entries(
+            self.postings
+                .as_ref()
+                .map_or(0, |p| p.map.values().map(|l| l.entries.len()).sum()),
+        )
+    }
+
+    fn bytes_with_posting_entries(&self, posting_entries: usize) -> usize {
+        use std::mem::size_of;
+        self.xs.len() * size_of::<f64>() * 2
+            + self.oids.len() * size_of::<ObjectId>()
+            + self.kw_ranges.len() * size_of::<(u32, u32)>()
+            + self.kw_pool.len() * size_of::<KeywordId>()
+            + self.slot_gen.len() * size_of::<u32>()
+            + self.slot_of.len() * (size_of::<ObjectId>() + size_of::<u32>())
+            + self.postings.as_ref().map_or(0, |p| {
+                posting_entries * size_of::<u64>()
+                    + p.map.len() * (size_of::<KeywordId>() + size_of::<PostingList>())
+            })
+    }
+}
+
+/// Merge intersection test over two sorted keyword slices (the RC-DVQ
+/// `o.kw ∩ q.W ≠ ∅` predicate, identical to
+/// `GeoTextObject::matches_any_keyword`).
+#[inline]
+pub fn intersects_sorted(obj_kws: &[KeywordId], query_kws: &[KeywordId]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < obj_kws.len() && j < query_kws.len() {
+        match obj_kws[i].cmp(&query_kws[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostream::{Point, Timestamp};
+
+    fn obj(id: u64, x: f64, y: f64, kws: &[u32]) -> GeoTextObject {
+        GeoTextObject::new(
+            ObjectId(id),
+            Point::new(x, y),
+            kws.iter().copied().map(KeywordId).collect(),
+            Timestamp::ZERO,
+        )
+    }
+
+    /// Reference count: per-slot full match, no kernels.
+    fn naive_count(s: &SampleStore, q: &RcDvq) -> usize {
+        (0..s.len() as u32)
+            .filter(|&i| s.slot_matches(i, q))
+            .count()
+    }
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        *state >> 11
+    }
+
+    #[test]
+    fn push_replace_remove_roundtrip() {
+        let mut s = SampleStore::new(true);
+        assert_eq!(s.push(&obj(1, 1.0, 2.0, &[5])), 0);
+        assert_eq!(s.push(&obj(2, 3.0, 4.0, &[5, 7])), 1);
+        assert_eq!(s.push(&obj(3, 5.0, 6.0, &[])), 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.slot_of(ObjectId(2)), Some(1));
+        assert_eq!(s.keywords(1), &[KeywordId(5), KeywordId(7)]);
+
+        s.replace(1, &obj(4, 7.0, 8.0, &[9]));
+        assert_eq!(s.slot_of(ObjectId(2)), None);
+        assert_eq!(s.slot_of(ObjectId(4)), Some(1));
+        assert_eq!(s.keywords(1), &[KeywordId(9)]);
+
+        // Swap-remove: slot 0 removed, former last (slot 2) moves into it.
+        assert_eq!(s.remove(ObjectId(1)), Some(0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.slot_of(ObjectId(3)), Some(0));
+        assert_eq!(s.oids()[0], ObjectId(3));
+        assert_eq!(s.remove(ObjectId(99)), None);
+    }
+
+    #[test]
+    fn kernels_agree_with_naive_matching_under_churn() {
+        let mut s = SampleStore::new(true);
+        let mut rng = 0xfeedu64;
+        let mut live: Vec<GeoTextObject> = Vec::new();
+        let queries = [
+            RcDvq::spatial(Rect::new(10.0, 10.0, 60.0, 55.0)),
+            RcDvq::keyword(vec![KeywordId(3)]),
+            RcDvq::keyword(vec![KeywordId(1), KeywordId(4), KeywordId(6)]),
+            RcDvq::hybrid(Rect::new(0.0, 0.0, 45.0, 90.0), vec![KeywordId(2)]),
+            RcDvq::hybrid(
+                Rect::new(20.0, 5.0, 80.0, 70.0),
+                vec![KeywordId(0), KeywordId(5)],
+            ),
+        ];
+        for i in 0..4_000u64 {
+            let x = (lcg(&mut rng) % 1_000) as f64 / 10.0;
+            let y = (lcg(&mut rng) % 1_000) as f64 / 10.0;
+            let nk = (lcg(&mut rng) % 4) as usize;
+            let kws: Vec<u32> = (0..nk).map(|_| (lcg(&mut rng) % 8) as u32).collect();
+            let o = obj(i, x, y, &kws);
+            // Mix of appends, replacements, and removals to recycle slots.
+            match lcg(&mut rng) % 4 {
+                0 if !live.is_empty() => {
+                    let victim = live.swap_remove((lcg(&mut rng) as usize) % live.len());
+                    assert!(s.remove(victim.oid).is_some());
+                }
+                1 if !live.is_empty() => {
+                    let slot = (lcg(&mut rng) as usize % live.len()) as u32;
+                    let old = s.oids()[slot as usize];
+                    live.retain(|o| o.oid != old);
+                    s.replace(slot, &o);
+                    live.push(o);
+                }
+                _ => {
+                    s.push(&o);
+                    live.push(o);
+                }
+            }
+            if i % 257 == 0 {
+                for q in &queries {
+                    assert_eq!(s.count(q), naive_count(&s, q), "kernel diverged at {i}");
+                }
+            }
+        }
+        assert_eq!(s.len(), live.len());
+        for q in &queries {
+            // Cross-check against brute force over the live set.
+            let brute = live.iter().filter(|o| q.matches(o)).count();
+            assert_eq!(s.count(q), brute);
+        }
+        assert!(s.compactions() > 0, "churn never compacted a posting list");
+    }
+
+    #[test]
+    fn memory_counter_matches_recompute_after_churn() {
+        let mut s = SampleStore::new(true);
+        let mut rng = 0xabcdu64;
+        let mut ids: Vec<u64> = Vec::new();
+        for i in 0..3_000u64 {
+            let kws: Vec<u32> = (0..(lcg(&mut rng) % 5) as u32).collect();
+            s.push(&obj(i, (i % 97) as f64, (i % 89) as f64, &kws));
+            ids.push(i);
+            if ids.len() > 500 {
+                let victim = ids.remove(0);
+                s.remove(ObjectId(victim));
+            }
+        }
+        assert_eq!(s.memory_bytes(), s.recompute_memory_bytes());
+        assert!(s.memory_bytes() > 0);
+        s.clear();
+        assert_eq!(s.memory_bytes(), s.recompute_memory_bytes());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn keyword_pool_compacts_under_replacement() {
+        let mut s = SampleStore::new(false);
+        for i in 0..8u64 {
+            s.push(&obj(i, 0.0, 0.0, &[1, 2, 3, 4]));
+        }
+        // Replace slot 0 many times: garbage accrues, pool must not grow
+        // without bound.
+        for i in 100..400u64 {
+            s.replace(0, &obj(i, 0.0, 0.0, &[5, 6, 7, 8]));
+        }
+        assert!(
+            s.kw_pool.len() <= 8 * 4 * 4,
+            "pool never compacted: {}",
+            s.kw_pool.len()
+        );
+        assert_eq!(s.keywords(0).len(), 4);
+    }
+
+    #[test]
+    fn recycled_slots_never_alias_postings() {
+        let mut s = SampleStore::new(true);
+        // Object with keyword 1 at slot 0, then swap-remove and refill the
+        // slot with a keyword-2 object; the keyword-1 posting must be dead.
+        s.push(&obj(1, 0.0, 0.0, &[1]));
+        s.remove(ObjectId(1));
+        s.push(&obj(2, 0.0, 0.0, &[2]));
+        assert_eq!(s.count(&RcDvq::keyword(vec![KeywordId(1)])), 0);
+        assert_eq!(s.count(&RcDvq::keyword(vec![KeywordId(2)])), 1);
+        // Same through the union-merge path.
+        assert_eq!(
+            s.count(&RcDvq::keyword(vec![KeywordId(1), KeywordId(2)])),
+            1
+        );
+    }
+
+    #[test]
+    fn hybrid_cutover_both_paths_agree() {
+        let mut s = SampleStore::new(true);
+        // Keyword 7 is rare (posting-first), keyword 0 is universal
+        // (scan-first under the mass < len/4 cutover).
+        for i in 0..1_000u64 {
+            let kws: &[u32] = if i % 50 == 0 { &[0, 7] } else { &[0] };
+            s.push(&obj(i, (i % 100) as f64, (i / 100) as f64, kws));
+        }
+        let rect = Rect::new(0.0, 0.0, 49.0, 9.0);
+        for kws in [vec![KeywordId(7)], vec![KeywordId(0)]] {
+            let q = RcDvq::hybrid(rect, kws);
+            assert_eq!(s.count(&q), naive_count(&s, &q));
+        }
+    }
+}

@@ -11,14 +11,18 @@
 //! useful when the workload cares more about the most recent sub-window
 //! than the whole `S_T`.
 //!
+//! Objects live in a shared [`SampleStore`] (priority keys stay in a
+//! parallel column maintained in lockstep with the store's swap-removes),
+//! so estimates run on the store's vectorized/posting kernels.
+//!
 //! Ships as a library extension (the paper's pool is pluggable, §IV); the
 //! pool itself keeps the six canonical estimators.
 
+use crate::store::SampleStore;
 use crate::traits::{EstimatorConfig, EstimatorKind, SelectivityEstimator};
-use geostream::{GeoTextObject, ObjectId, RcDvq};
+use geostream::{GeoTextObject, RcDvq};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Recency half-life, measured in arrivals: an object this many arrivals
 /// old is half as likely to be retained as a fresh one.
@@ -27,10 +31,11 @@ const HALF_LIFE_ARRIVALS: f64 = 20_000.0;
 /// An exponentially recency-biased reservoir sampler.
 pub struct WindowedSampler {
     capacity: usize,
-    /// `(priority key, object)` — a soft heap would do; at estimator-scale
-    /// capacities a linear min search on replacement is cheap and simple.
-    sample: Vec<(f64, GeoTextObject)>,
-    slots: HashMap<ObjectId, usize>,
+    store: SampleStore,
+    /// Priority key per slot, parallel to the store's columns — a soft
+    /// heap would do; at estimator-scale capacities a linear min search on
+    /// replacement is cheap and simple.
+    keys: Vec<f64>,
     arrivals: u64,
     population: u64,
     rng: StdRng,
@@ -43,8 +48,8 @@ impl WindowedSampler {
         let capacity = config.scaled_reservoir();
         WindowedSampler {
             capacity,
-            sample: Vec::with_capacity(capacity.min(1 << 20)),
-            slots: HashMap::new(),
+            store: SampleStore::with_capacity(capacity.min(1 << 20), true),
+            keys: Vec::with_capacity(capacity.min(1 << 20)),
             arrivals: 0,
             population: 0,
             rng: StdRng::seed_from_u64(config.seed ^ 0x71de),
@@ -53,7 +58,12 @@ impl WindowedSampler {
 
     /// Current number of sampled objects.
     pub fn sample_len(&self) -> usize {
-        self.sample.len()
+        self.store.len()
+    }
+
+    /// The backing sample store (read access for diagnostics and tests).
+    pub fn store(&self) -> &SampleStore {
+        &self.store
     }
 
     /// Priority key for the `i`-th arrival: `u^(1/w)` with
@@ -64,13 +74,6 @@ impl WindowedSampler {
         let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
         let w = (self.arrivals as f64 / HALF_LIFE_ARRIVALS * std::f64::consts::LN_2).exp();
         u.ln() / w
-    }
-
-    fn fix_slot(&mut self, slot: usize) {
-        if slot < self.sample.len() {
-            let oid = self.sample[slot].1.oid;
-            self.slots.insert(oid, slot);
-        }
     }
 }
 
@@ -85,55 +88,49 @@ impl SelectivityEstimator for WindowedSampler {
         self.population += 1;
         self.arrivals += 1;
         let key = self.key();
-        if self.sample.len() < self.capacity {
-            self.slots.insert(obj.oid, self.sample.len());
-            self.sample.push((key, obj.clone()));
+        if self.store.len() < self.capacity {
+            self.store.push(obj);
+            self.keys.push(key);
             return;
         }
         // Replace the minimum-key entry if ours beats it.
-        let (min_slot, &(min_key, _)) = self
-            .sample
+        let (min_slot, &min_key) = self
+            .keys
             .iter()
             .enumerate()
-            .min_by(|(_, (a, _)), (_, (b, _))| a.partial_cmp(b).expect("finite keys"))
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite keys"))
             .expect("sample non-empty at capacity");
         if key > min_key {
-            self.slots.remove(&self.sample[min_slot].1.oid);
-            self.slots.insert(obj.oid, min_slot);
-            self.sample[min_slot] = (key, obj.clone());
+            self.store.replace(min_slot as u32, obj);
+            self.keys[min_slot] = key;
         }
     }
 
     fn remove(&mut self, obj: &GeoTextObject) {
         self.population = self.population.saturating_sub(1);
-        if let Some(slot) = self.slots.remove(&obj.oid) {
-            let last = self.sample.len() - 1;
-            self.sample.swap(slot, last);
-            self.sample.pop();
-            self.fix_slot(slot);
+        if let Some(slot) = self.store.remove(obj.oid) {
+            // Mirror the store's swap-remove in the key column.
+            self.keys.swap_remove(slot as usize);
         }
     }
 
     fn estimate(&self, query: &RcDvq) -> f64 {
-        if self.sample.is_empty() {
+        if self.store.is_empty() {
             return 0.0;
         }
-        let matches = self.sample.iter().filter(|(_, o)| query.matches(o)).count();
-        matches as f64 / self.sample.len() as f64 * self.population as f64
+        let matches = self.store.count(query);
+        matches as f64 / self.store.len() as f64 * self.population as f64
     }
 
     fn memory_bytes(&self) -> usize {
-        self.sample
-            .iter()
-            .map(|(_, o)| o.approx_bytes() + std::mem::size_of::<f64>())
-            .sum::<usize>()
-            + self.slots.len() * (std::mem::size_of::<ObjectId>() + std::mem::size_of::<usize>())
+        self.store.memory_bytes()
+            + self.keys.len() * std::mem::size_of::<f64>()
             + std::mem::size_of::<Self>()
     }
 
     fn clear(&mut self) {
-        self.sample.clear();
-        self.slots.clear();
+        self.store.clear();
+        self.keys.clear();
         self.arrivals = 0;
         self.population = 0;
     }
@@ -146,7 +143,7 @@ impl SelectivityEstimator for WindowedSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geostream::{KeywordId, Point, Rect, Timestamp};
+    use geostream::{KeywordId, ObjectId, Point, Rect, Timestamp};
 
     fn config(cap: usize) -> EstimatorConfig {
         EstimatorConfig {
@@ -198,7 +195,7 @@ mod tests {
             w.insert(&obj(i, 1.0, &[]));
         }
         let mean_id: f64 =
-            w.sample.iter().map(|(_, o)| o.oid.0 as f64).sum::<f64>() / w.sample_len() as f64;
+            w.store.oids().iter().map(|o| o.0 as f64).sum::<f64>() / w.sample_len() as f64;
         // Uniform sampling would center at 50k; recency bias pushes it
         // well past.
         assert!(
@@ -238,9 +235,10 @@ mod tests {
         }
         assert_eq!(w.population(), 30);
         assert_eq!(w.sample_len(), 30);
+        assert_eq!(w.keys.len(), 30);
         // Slot map stays exact under swap-removes.
-        for (oid, &slot) in &w.slots {
-            assert_eq!(w.sample[slot].1.oid, *oid);
+        for (slot, oid) in w.store.oids().iter().enumerate() {
+            assert_eq!(w.store.slot_of(*oid), Some(slot as u32));
         }
         w.clear();
         assert_eq!(w.population(), 0);
