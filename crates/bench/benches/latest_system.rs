@@ -36,7 +36,7 @@ fn ready_latest() -> (Latest, geostream::synth::ObjectGenerator) {
             1 => RcDvq::keyword(vec![KeywordId(n % 40)]),
             _ => RcDvq::hybrid(area, vec![KeywordId(n % 40)]),
         };
-        latest.query(&q, gen.clock());
+        let _ = latest.query(&q, gen.clock());
         n += 1;
     }
     (latest, gen)

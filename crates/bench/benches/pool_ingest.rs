@@ -47,7 +47,7 @@ fn ready_latest(pool_workers: usize) -> (Latest, ObjectGenerator) {
             1 => RcDvq::keyword(vec![KeywordId(n % 40)]),
             _ => RcDvq::hybrid(area, vec![KeywordId(n % 40)]),
         };
-        latest.query(&q, gen.clock());
+        let _ = latest.query(&q, gen.clock());
         n += 1;
     }
     assert_eq!(latest.phase(), PhaseTag::Incremental);

@@ -93,6 +93,10 @@ fn print_usage() {
     );
 }
 
+// CLI usage-error path of a leaf binary: nothing above main holds state
+// that a unwinding teardown would need, so a direct exit is correct here
+// (the workspace-wide deny targets library code).
+#[allow(clippy::exit)]
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);

@@ -136,7 +136,7 @@ fn run_workload_inner(
         let pos = qi * spec.total() / total_queries.max(1);
         queries.set_time(objects.clock());
         let query = queries.query_at(pos);
-        latest.query(&query, objects.clock());
+        let _ = latest.query(&query, objects.clock());
         if !started && latest.phase() == latest_core::PhaseTag::Incremental {
             incremental_start = latest.now();
             started = true;

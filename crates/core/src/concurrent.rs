@@ -37,7 +37,8 @@
 //!     })
 //!     .build()
 //!     .expect("parameters are in range");
-//! let pipeline = StreamPipeline::spawn(config, dataset.generator(), 8_000);
+//! let pipeline =
+//!     StreamPipeline::spawn(config, dataset.generator(), 8_000).expect("threads spawn");
 //! pipeline.wait_for_phase(PhaseTag::PreTraining);
 //! let handle = pipeline.handle();
 //! let out = handle
@@ -89,6 +90,9 @@ impl SharedLatest {
     /// Whether the backing stream is still live (always true for
     /// standalone handles; false once an owning pipeline shut down).
     pub fn is_open(&self) -> bool {
+        // Acquire ordering: pairs with the Release store in `close()` so a
+        // handle that observes `false` also observes every write the
+        // pipeline made before shutting down.
         self.open.load(Ordering::Acquire)
     }
 
@@ -102,6 +106,8 @@ impl SharedLatest {
 
     /// Marks the handle family as shut down (further queries fail).
     pub(crate) fn close(&self) {
+        // Release ordering: publishes all pre-shutdown writes before any
+        // Acquire load in `is_open()` can observe the cleared flag.
         self.open.store(false, Ordering::Release);
     }
 
@@ -184,7 +190,7 @@ impl StreamPipeline {
         config: LatestConfig,
         mut generator: ObjectGenerator,
         channel_capacity: usize,
-    ) -> Self {
+    ) -> Result<Self, LatestError> {
         let handle = SharedLatest::new(config);
         let (obj_tx, obj_rx): (Sender<GeoTextObject>, Receiver<GeoTextObject>) =
             bounded(channel_capacity.max(1));
@@ -201,7 +207,10 @@ impl StreamPipeline {
                     return;
                 }
             })
-            .expect("spawn producer");
+            .map_err(|e| LatestError::Spawn {
+                thread: "latest-producer",
+                reason: e.to_string(),
+            })?;
 
         let consumer_handle = handle.clone();
         let consumer = std::thread::Builder::new()
@@ -226,14 +235,17 @@ impl StreamPipeline {
                 }
                 ingested
             })
-            .expect("spawn consumer");
+            .map_err(|e| LatestError::Spawn {
+                thread: "latest-ingestor",
+                reason: e.to_string(),
+            })?;
 
-        StreamPipeline {
+        Ok(StreamPipeline {
             handle,
             stop: stop_tx,
             producer: Some(producer),
             consumer: Some(consumer),
-        }
+        })
     }
 
     /// A cloneable query handle.
@@ -316,7 +328,8 @@ mod tests {
     #[test]
     fn pipeline_streams_and_answers() {
         let dataset = DatasetSpec::twitter();
-        let pipeline = StreamPipeline::spawn(config(&dataset), dataset.generator(), 4_096);
+        let pipeline =
+            StreamPipeline::spawn(config(&dataset), dataset.generator(), 4_096).expect("spawn");
         pipeline.wait_for_phase(PhaseTag::PreTraining);
         let handle = pipeline.handle();
         assert!(handle.window_len() > 0);
@@ -333,7 +346,8 @@ mod tests {
     #[test]
     fn concurrent_queriers_share_one_instance() {
         let dataset = DatasetSpec::twitter();
-        let pipeline = StreamPipeline::spawn(config(&dataset), dataset.generator(), 4_096);
+        let pipeline =
+            StreamPipeline::spawn(config(&dataset), dataset.generator(), 4_096).expect("spawn");
         pipeline.wait_for_phase(PhaseTag::PreTraining);
         let mut joins = Vec::new();
         for t in 0..4u32 {
@@ -362,7 +376,8 @@ mod tests {
     #[test]
     fn shutdown_is_idempotent_via_drop() {
         let dataset = DatasetSpec::twitter();
-        let pipeline = StreamPipeline::spawn(config(&dataset), dataset.generator(), 128);
+        let pipeline =
+            StreamPipeline::spawn(config(&dataset), dataset.generator(), 128).expect("spawn");
         pipeline.wait_for_phase(PhaseTag::PreTraining);
         drop(pipeline); // Drop must stop threads without deadlocking.
     }
@@ -396,7 +411,8 @@ mod tests {
     #[test]
     fn queries_fail_after_shutdown() {
         let dataset = DatasetSpec::twitter();
-        let pipeline = StreamPipeline::spawn(config(&dataset), dataset.generator(), 1_024);
+        let pipeline =
+            StreamPipeline::spawn(config(&dataset), dataset.generator(), 1_024).expect("spawn");
         pipeline.wait_for_phase(PhaseTag::PreTraining);
         let handle = pipeline.handle();
         assert!(handle.is_open());

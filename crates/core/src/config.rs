@@ -47,6 +47,9 @@ pub enum ConfigError {
     ZeroWindowSpan,
     /// The accuracy monitor's moving-average window must be nonzero.
     ZeroAccuracyWindow,
+    /// The embedded [`EstimatorConfig`](estimators::EstimatorConfig)
+    /// failed its own validation (degenerate domain, zero capacities, ...).
+    Estimator(estimators::EstimateError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -57,14 +60,23 @@ impl std::fmt::Display for ConfigError {
             ConfigError::AlphaOutOfRange(v) => write!(f, "alpha must be in [0,1], got {v}"),
             ConfigError::ZeroWindowSpan => write!(f, "window_span must be nonzero"),
             ConfigError::ZeroAccuracyWindow => write!(f, "accuracy_window must be nonzero"),
+            ConfigError::Estimator(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for ConfigError {}
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Estimator(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl LatestConfig {
     /// Starts a fluent builder seeded with the defaults.
+    #[must_use]
     pub fn builder() -> LatestConfigBuilder {
         LatestConfigBuilder::default()
     }
@@ -89,6 +101,9 @@ impl LatestConfig {
         if self.accuracy_window == 0 {
             return Err(ConfigError::ZeroAccuracyWindow);
         }
+        self.estimator_config
+            .validate()
+            .map_err(ConfigError::Estimator)?;
         Ok(())
     }
 }
@@ -101,108 +116,126 @@ pub struct LatestConfigBuilder {
 
 impl LatestConfigBuilder {
     /// The time window `T` queries are answered over.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn window_span(mut self, span: Duration) -> Self {
         self.config.window_span = span;
         self
     }
 
     /// Length of the data-only warm-up phase.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn warmup(mut self, warmup: Duration) -> Self {
         self.config.warmup = warmup;
         self
     }
 
     /// Number of queries in the pre-training phase.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn pretrain_queries(mut self, n: usize) -> Self {
         self.config.pretrain_queries = n;
         self
     }
 
     /// Accuracy threshold `τ ∈ (0, 1]`: switching below it.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn tau(mut self, tau: f64) -> Self {
         self.config.tau = tau;
         self
     }
 
     /// Pre-filling factor `β ∈ (0, 1)`: pre-filling starts below `β·τ`.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn beta(mut self, beta: f64) -> Self {
         self.config.beta = beta;
         self
     }
 
     /// Accuracy/latency trade-off `α ∈ [0, 1]` (0 = accuracy only).
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn alpha(mut self, alpha: f64) -> Self {
         self.config.alpha = alpha;
         self
     }
 
     /// Moving-average window (queries) of the accuracy monitor.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn accuracy_window(mut self, n: usize) -> Self {
         self.config.accuracy_window = n;
         self
     }
 
     /// Minimum incremental queries between consecutive switches.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn min_switch_spacing(mut self, n: usize) -> Self {
         self.config.min_switch_spacing = n;
         self
     }
 
     /// Required learned-reward advantage before pre-filling a replacement.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn switch_margin(mut self, margin: f64) -> Self {
         self.config.switch_margin = margin;
         self
     }
 
     /// The estimator employed when the incremental phase starts.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn default_estimator(mut self, kind: EstimatorKind) -> Self {
         self.config.default_estimator = kind;
         self
     }
 
     /// Sizing of the underlying estimators.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn estimator_config(mut self, config: EstimatorConfig) -> Self {
         self.config.estimator_config = config;
         self
     }
 
     /// Hoeffding tree configuration.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn tree_config(mut self, config: HoeffdingTreeConfig) -> Self {
         self.config.tree_config = config;
         self
     }
 
     /// Spatial backend of the exact executor.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn index_kind(mut self, kind: SpatialIndexKind) -> Self {
         self.config.index_kind = kind;
         self
     }
 
     /// Keep all estimators maintained and measure each per query.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn shadow_metrics(mut self, on: bool) -> Self {
         self.config.shadow_metrics = on;
         self
     }
 
     /// Mean-relative-error retraining trigger (§V-D), `None` to disable.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn retrain_error_threshold(mut self, threshold: Option<f64>) -> Self {
         self.config.retrain_error_threshold = threshold;
         self
     }
 
     /// DDM-based drift retraining of the Hoeffding tree.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn drift_detection(mut self, on: bool) -> Self {
         self.config.drift_detection = on;
         self
     }
 
     /// Ablation knobs for the design-choice experiments.
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn ablation(mut self, ablation: AblationConfig) -> Self {
         self.config.ablation = ablation;
         self
     }
 
     /// Worker-thread cap for estimator-pool fan-out (`0`/`1` = serial).
+    #[must_use = "setters move the builder; reassign or chain the result"]
     pub fn pool_workers(mut self, workers: usize) -> Self {
         self.config.pool_workers = workers;
         self
@@ -298,5 +331,22 @@ mod tests {
             .to_string()
             .contains("beta must be in (0,1)"));
         assert!(ConfigError::ZeroWindowSpan.to_string().contains("nonzero"));
+    }
+
+    #[test]
+    fn estimator_config_errors_surface_through_builder() {
+        use std::error::Error;
+        let err = LatestConfig::builder()
+            .estimator_config(EstimatorConfig {
+                reservoir_capacity: 0,
+                ..EstimatorConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        let ConfigError::Estimator(ref inner) = err else {
+            panic!("expected ConfigError::Estimator, got {err:?}");
+        };
+        assert!(inner.to_string().contains("reservoir_capacity"));
+        assert!(err.source().is_some());
     }
 }

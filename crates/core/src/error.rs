@@ -12,6 +12,14 @@ pub enum LatestError {
     PipelineShutDown,
     /// A non-blocking call found the instance locked by another thread.
     WouldBlock,
+    /// The OS refused to spawn a pipeline thread (resource exhaustion).
+    Spawn {
+        /// Which pipeline thread failed (`"latest-producer"` /
+        /// `"latest-ingestor"`).
+        thread: &'static str,
+        /// The OS error text.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for LatestError {
@@ -21,6 +29,9 @@ impl std::fmt::Display for LatestError {
             LatestError::PipelineShutDown => write!(f, "pipeline has shut down"),
             LatestError::WouldBlock => {
                 write!(f, "instance is busy; non-blocking call would block")
+            }
+            LatestError::Spawn { thread, reason } => {
+                write!(f, "failed to spawn pipeline thread `{thread}`: {reason}")
             }
         }
     }
@@ -53,5 +64,10 @@ mod tests {
         assert!(e.source().is_some());
         assert!(LatestError::PipelineShutDown.source().is_none());
         assert!(LatestError::WouldBlock.to_string().contains("busy"));
+        let spawn = LatestError::Spawn {
+            thread: "latest-producer",
+            reason: "out of threads".into(),
+        };
+        assert!(spawn.to_string().contains("latest-producer"));
     }
 }

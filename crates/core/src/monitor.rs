@@ -31,6 +31,7 @@ impl AccuracyMonitor {
     pub fn push(&mut self, accuracy: f64) {
         let accuracy = accuracy.clamp(0.0, 1.0);
         if self.window.len() == self.capacity {
+            // LINT-ALLOW(no-panic): this branch runs only when len == capacity, so the deque has a front to pop
             self.sum -= self.window.pop_front().expect("non-empty at capacity");
         }
         self.window.push_back(accuracy);

@@ -197,6 +197,7 @@ impl EstimatorPool {
             // pool order.
             handles
                 .into_iter()
+                // LINT-ALLOW(no-panic): join re-raises a worker panic on the caller thread; workers panic only on bugs
                 .flat_map(|h| h.join().expect("pool worker panicked"))
                 .collect()
         })
@@ -245,6 +246,59 @@ impl EstimatorPool {
             },
             sideline,
         );
+    }
+
+    /// Deep invariant walk over the pool (the `debug-invariants`
+    /// auditor): each estimator's own `audit`, plus
+    ///
+    /// * **population-agreement** — every maintained estimator has been
+    ///   fed the same insert/remove stream, so all populations match;
+    /// * **chunk-coverage** — [`Self::balanced_chunks`] partitions the
+    ///   pool at every worker count: chunk sizes sum to the pool length
+    ///   and differ by at most one, so a fan-out round visits every
+    ///   estimator exactly once with no worker inheriting two extras.
+    ///
+    /// Takes `&mut self` only because the chunk check exercises the real
+    /// `&mut`-splitting fan-out path; no estimator state changes.
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit(&mut self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        const S: &str = "EstimatorPool";
+        let mut first: Option<(EstimatorKind, u64)> = None;
+        for est in &self.estimators {
+            est.audit()?;
+            let pop = est.population();
+            match first {
+                None => first = Some((est.kind(), pop)),
+                Some((kind0, pop0)) => {
+                    ensure(pop == pop0, S, "population-agreement", || {
+                        format!(
+                            "{kind0} tracks {pop0} objects but {} tracks {pop}",
+                            est.kind()
+                        )
+                    })?;
+                }
+            }
+        }
+        let n = self.estimators.len();
+        for workers in 1..=n.max(1) {
+            let sizes: Vec<usize> = Self::balanced_chunks(&mut self.estimators, workers)
+                .iter()
+                .map(|c| c.len())
+                .collect();
+            ensure(
+                sizes.iter().sum::<usize>() == n,
+                S,
+                "chunk-coverage",
+                || format!("{workers} workers: chunks {sizes:?} do not cover {n} estimators"),
+            )?;
+            let min = sizes.iter().min().copied().unwrap_or(0);
+            let max = sizes.iter().max().copied().unwrap_or(0);
+            ensure(max - min <= 1, S, "chunk-coverage", || {
+                format!("{workers} workers: chunk sizes {sizes:?} differ by more than one")
+            })?;
+        }
+        Ok(())
     }
 
     /// One measurement round: every estimator answers `query` (timed) and
@@ -381,6 +435,24 @@ mod tests {
             .map(|c| c.len())
             .collect();
         assert_eq!(sizes, vec![1; 6]);
+    }
+
+    /// The pool auditor passes on a consistently maintained pool and
+    /// flags an estimator that missed part of the maintenance stream.
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    fn audit_checks_every_estimator_and_population_agreement() {
+        let mut pool = EstimatorPool::full(&config(), 2);
+        let objs = objects(300);
+        pool.insert_batch(&objs);
+        pool.remove_batch(&objs[..100]);
+        pool.audit().expect("consistently maintained pool");
+        // A freshly built estimator never saw the stream: its population
+        // disagrees with the rest of the pool.
+        pool.push(build_estimator(EstimatorKind::Ffn, &config()));
+        let err = pool.audit().expect_err("stale estimator must be caught");
+        assert_eq!(err.structure, "EstimatorPool");
+        assert_eq!(err.invariant, "population-agreement");
     }
 
     #[test]

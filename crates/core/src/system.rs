@@ -137,6 +137,7 @@ impl Default for LatestConfig {
 
 /// What a single estimation query returned.
 #[derive(Debug, Clone)]
+#[must_use = "the outcome carries the estimate and its accuracy; discarding it wastes the query"]
 pub struct QueryOutcome {
     /// The estimate LATEST answered with.
     pub estimate: f64,
@@ -208,6 +209,7 @@ impl Latest {
     /// surfaces the same checks as a `Result`.
     pub fn new(config: LatestConfig) -> Self {
         if let Err(e) = config.validate() {
+            // LINT-ALLOW(no-panic): `new` documents this panic; `try_new` is the fallible path for recoverable callers
             panic!("{e}");
         }
         let pool = EstimatorPool::full(&config.estimator_config, config.pool_workers);
@@ -295,6 +297,18 @@ impl Latest {
     /// Current stream time.
     pub fn now(&self) -> Timestamp {
         self.window.now()
+    }
+
+    /// Overrides the current phase's estimator-pool hardware spawn cap.
+    /// Test hook (mirrors [`EstimatorPool::set_spawn_cap`]): lets
+    /// single-core CI hosts exercise the real threaded fan-out. Phase
+    /// transitions rebuild pools, so re-apply after them.
+    #[doc(hidden)]
+    pub fn set_pool_spawn_cap(&mut self, cap: usize) {
+        match &mut self.phase {
+            Phase::WarmUp { pool } | Phase::PreTraining { pool } => pool.set_spawn_cap(cap),
+            Phase::Incremental { shadow, .. } => shadow.set_spawn_cap(cap),
+        }
     }
 
     /// Ingests one stream object, updating the window, the exact executor,
@@ -450,6 +464,7 @@ impl Latest {
             .iter()
             .find(|s| s.estimator == default_kind)
             .copied()
+            // LINT-ALLOW(no-panic): the pool is seeded from ALL_KINDS, which includes the configured default kind
             .expect("default estimator is in the pool");
         self.track_error(answer.estimate, actual);
         self.log.queries.push(QueryRecord {
@@ -505,6 +520,7 @@ impl Latest {
             // Otherwise dropped: wiped out to keep one live structure.
         }
         self.phase = Phase::Incremental {
+            // LINT-ALLOW(no-panic): the loop above inserted every kind, including the default, into the pool
             active: active.expect("default estimator was in the pool"),
             prefill: None,
             shadow: EstimatorPool::new(shadow, self.config.pool_workers),
@@ -618,6 +634,7 @@ impl Latest {
         let monitor_average = self.monitor.warmed_up().then(|| {
             self.monitor
                 .average()
+                // LINT-ALLOW(no-panic): warmed_up() requires at least one observation, so the window mean exists
                 .expect("warmed_up implies observations")
         });
 
@@ -673,6 +690,7 @@ impl Latest {
                 // (No prefill means the model sees no better option — stay
                 // on the current estimator rather than churn.)
                 if avg < tau && prefill.is_some() {
+                    // LINT-ALLOW(no-panic): guarded by the `prefill.is_some()` check on the enclosing branch
                     let replacement = prefill.take().expect("checked");
                     let old = std::mem::replace(active, replacement);
                     if self.config.shadow_metrics {
@@ -842,7 +860,7 @@ mod tests {
                 latest.ingest(gen.next_object());
             }
             let q = random_query(&mut rng, &domain);
-            latest.query(&q, gen.clock());
+            let _ = latest.query(&q, gen.clock());
         }
         let log = latest.log();
         assert!(log.incremental_queries() > 0);
@@ -850,6 +868,34 @@ mod tests {
         assert!(acc > 0.3, "incremental accuracy too low: {acc}");
         // Every query ran once through the exact executor's planner.
         assert_eq!(latest.executor_path_mix().total(), 60);
+    }
+
+    /// The executor's path-mix counters stay exact when estimator
+    /// maintenance runs on a threaded pool with the executor's index
+    /// upkeep riding the fan-out's sideline hook: one planner routing per
+    /// query, regardless of how the maintenance rounds were scheduled.
+    #[test]
+    fn path_mix_is_exact_under_pooled_sideline_upkeep() {
+        let mut config = small_config();
+        config.pool_workers = 4;
+        config.shadow_metrics = true;
+        let domain = config.estimator_config.domain;
+        let mut latest = Latest::new(config);
+        let mut gen = warm_up(&mut latest);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut queries = 0u64;
+        for _ in 0..120 {
+            // Exercise the real threaded fan-out even on single-core CI
+            // hosts; phase transitions rebuild pools, so re-apply.
+            latest.set_pool_spawn_cap(4);
+            for _ in 0..3 {
+                latest.ingest(gen.next_object());
+            }
+            let q = random_query(&mut rng, &domain);
+            let _ = latest.query(&q, gen.clock());
+            queries += 1;
+        }
+        assert_eq!(latest.executor_path_mix().total(), queries);
     }
 
     #[test]
@@ -868,7 +914,7 @@ mod tests {
         for _ in 0..20 {
             latest.ingest(gen.next_object());
             let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
-            latest.query(&q, gen.clock());
+            let _ = latest.query(&q, gen.clock());
         }
         assert_eq!(latest.phase(), PhaseTag::Incremental);
         assert_eq!(latest.active_kind(), EstimatorKind::H4096);
@@ -877,7 +923,7 @@ mod tests {
                 latest.ingest(gen.next_object());
             }
             let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
-            latest.query(&q, gen.clock());
+            let _ = latest.query(&q, gen.clock());
             if latest.active_kind() != EstimatorKind::H4096 {
                 break;
             }
@@ -915,7 +961,7 @@ mod tests {
                 10.0,
                 &domain,
             ));
-            latest.query(&q, gen.clock());
+            let _ = latest.query(&q, gen.clock());
         }
         assert!(
             latest.log().switches.len() <= 1,
@@ -936,7 +982,7 @@ mod tests {
         for _ in 0..20 {
             latest.ingest(gen.next_object());
             let q = random_query(&mut rng, &domain);
-            latest.query(&q, gen.clock());
+            let _ = latest.query(&q, gen.clock());
         }
         let last = latest.log().queries.last().unwrap();
         assert_eq!(last.phase, PhaseTag::Incremental);
@@ -972,7 +1018,7 @@ mod tests {
         for _ in 0..120 {
             latest.ingest(gen.next_object());
             let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
-            latest.query(&q, gen.clock());
+            let _ = latest.query(&q, gen.clock());
         }
         assert_eq!(latest.active_kind(), EstimatorKind::H4096);
         assert!(latest.log().switches.is_empty());
@@ -994,7 +1040,7 @@ mod tests {
                 latest.ingest(gen.next_object());
             }
             let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
-            latest.query(&q, gen.clock());
+            let _ = latest.query(&q, gen.clock());
             if latest.active_kind() != EstimatorKind::H4096 {
                 break;
             }
@@ -1019,7 +1065,7 @@ mod tests {
                 latest.ingest(gen.next_object());
             }
             let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
-            latest.query(&q, gen.clock());
+            let _ = latest.query(&q, gen.clock());
             if latest.active_kind() != EstimatorKind::H4096 {
                 break;
             }

@@ -142,6 +142,36 @@ impl AaspTree {
     fn node_keyword_matches(node: &AspNode<BucketCounts>, kws: &[KeywordId]) -> f64 {
         node.payload.matches(kws).min(node.own)
     }
+
+    /// Full invariant walk (the `debug-invariants` auditor): the spatial
+    /// tree's partition/subtree/population invariants
+    /// ([`AspTree::audit`]), plus keyword-bucket sanity — every bucket
+    /// counter is finite and non-negative, and no bucket anywhere exceeds
+    /// the tree population (a bucket counts a subset of all inserted
+    /// objects; per-node bounds are deliberately *not* asserted because
+    /// retraction pairs counts and keywords only approximately across
+    /// splits, see [`SelectivityEstimator::remove`]).
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit(&self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        self.tree.audit()?;
+        let population = self.tree.population() as f64;
+        let mut violation: Option<(usize, usize, f64)> = None;
+        let mut id = 0usize;
+        self.tree.for_each_node(|node| {
+            for (b, &count) in node.payload.counts.iter().enumerate() {
+                let ok = count.is_finite() && count >= 0.0 && count <= population + 1e-6;
+                if violation.is_none() && !ok {
+                    violation = Some((id, b, count));
+                }
+            }
+            id += 1;
+        });
+        ensure(violation.is_none(), "AaspTree", "bucket-bounds", || {
+            let (node, bucket, count) = violation.unwrap_or((0, 0, 0.0));
+            format!("node {node} bucket {bucket} counts {count} of {population} objects")
+        })
+    }
 }
 
 impl SelectivityEstimator for AaspTree {
@@ -197,6 +227,7 @@ impl SelectivityEstimator for AaspTree {
             // Even pure spatial queries pay the per-leaf walk: statistics
             // live at the leaves, so no aggregate shortcut exists.
             QueryType::Spatial => self.tree.estimate_nodes_with(
+                // LINT-ALLOW(no-panic): QueryType::Spatial carries a range by construction
                 Some(query.range().expect("spatial query has range")),
                 &|node| node.own,
             ),
@@ -205,6 +236,7 @@ impl SelectivityEstimator for AaspTree {
             }),
             QueryType::Hybrid => self
                 .tree
+                // LINT-ALLOW(no-panic): QueryType::Hybrid carries a range by construction
                 .estimate_nodes_with(Some(query.range().expect("hybrid")), &|node| {
                     Self::node_keyword_matches(node, query.keywords())
                 }),
@@ -222,6 +254,11 @@ impl SelectivityEstimator for AaspTree {
 
     fn population(&self) -> u64 {
         self.tree.population()
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    fn audit(&self) -> Result<(), geostream::AuditError> {
+        AaspTree::audit(self)
     }
 }
 

@@ -246,6 +246,95 @@ impl<P: Default> AspTree<P> {
         self.population = 0;
     }
 
+    /// Full O(nodes) invariant walk (the `debug-invariants` auditor):
+    ///
+    /// * **partition** — each split node's four children carry exactly its
+    ///   rectangle's quadrants, in `[SW, SE, NW, NE]` order (disjoint and
+    ///   covering by construction of [`Rect::quadrants`]), one level
+    ///   deeper, within the depth cap.
+    /// * **subtree-identity** — every node's `subtree` equals its `own`
+    ///   plus its children's `subtree`s.
+    /// * **non-negative** — no counter is negative or non-finite.
+    /// * **population** — the scalar population equals the root's subtree
+    ///   mass.
+    /// * **reachability** — every arena node is reachable from the root
+    ///   exactly once (no orphaned or shared children).
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit(&self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        const S: &str = "AspTree";
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = vec![0];
+        while let Some(id) = stack.pop() {
+            let i = id as usize;
+            ensure(!seen[i], S, "reachability", || {
+                format!("node {id} reachable twice")
+            })?;
+            seen[i] = true;
+            let node = &self.nodes[i];
+            ensure(
+                node.own >= 0.0 && node.own.is_finite() && node.subtree.is_finite(),
+                S,
+                "non-negative",
+                || format!("node {id} own {} subtree {}", node.own, node.subtree),
+            )?;
+            match node.children {
+                None => {
+                    ensure(
+                        (node.subtree - node.own).abs() < 1e-6,
+                        S,
+                        "subtree-identity",
+                        || format!("leaf {id} subtree {} != own {}", node.subtree, node.own),
+                    )?;
+                }
+                Some(children) => {
+                    let quadrants = node.rect.quadrants();
+                    let mut child_sum = 0.0;
+                    for (q, &c) in children.iter().enumerate() {
+                        let child = &self.nodes[c as usize];
+                        ensure(child.rect == quadrants[q], S, "partition", || {
+                            format!(
+                                "node {id} child {q} covers {:?}, quadrant is {:?}",
+                                child.rect, quadrants[q]
+                            )
+                        })?;
+                        ensure(
+                            child.depth == node.depth + 1 && child.depth <= self.max_depth,
+                            S,
+                            "partition",
+                            || format!("node {id} child {c} at depth {}", child.depth),
+                        )?;
+                        child_sum += child.subtree;
+                    }
+                    ensure(
+                        (node.subtree - (node.own + child_sum)).abs() < 1e-6,
+                        S,
+                        "subtree-identity",
+                        || {
+                            format!(
+                                "node {id} subtree {} != own {} + children {child_sum}",
+                                node.subtree, node.own
+                            )
+                        },
+                    )?;
+                    stack.extend_from_slice(&children);
+                }
+            }
+        }
+        ensure(seen.iter().all(|&s| s), S, "reachability", || {
+            let orphan = seen.iter().position(|&s| !s).unwrap_or(0);
+            format!("node {orphan} unreachable from the root")
+        })?;
+        let root = self.nodes[0].subtree;
+        ensure(
+            (root - self.population as f64).abs() < 1e-6,
+            S,
+            "population",
+            || format!("population {} != root subtree {root}", self.population),
+        )?;
+        Ok(())
+    }
+
     /// Approximate heap bytes, with payload bytes supplied by the caller.
     pub fn memory_bytes(&self, payload_bytes: impl Fn(&P) -> usize) -> usize {
         self.nodes.len() * std::mem::size_of::<AspNode<P>>()

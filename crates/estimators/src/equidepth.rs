@@ -138,7 +138,9 @@ impl EquiDepthGrid {
         }
         let mut xs: Vec<f64> = self.store.xs().to_vec();
         let mut ys: Vec<f64> = self.store.ys().to_vec();
+        // LINT-ALLOW(no-panic): coordinates are finite on ingest (synthetic domain is bounded), so partial_cmp succeeds
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        // LINT-ALLOW(no-panic): same as above: finite coordinates always compare
         ys.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
         let quantile = |sorted: &[f64], q: f64| {
             let idx = ((sorted.len() as f64 * q) as usize).min(sorted.len() - 1);
@@ -239,6 +241,7 @@ impl SelectivityEstimator for EquiDepthGrid {
         }
         match query.query_type() {
             QueryType::Spatial | QueryType::Hybrid => {
+                // LINT-ALLOW(no-panic): Spatial/Hybrid queries carry a range by construction
                 self.estimate_range(query.range().expect("spatial/hybrid has range"))
             }
             QueryType::Keyword => self.population as f64,
@@ -264,6 +267,55 @@ impl SelectivityEstimator for EquiDepthGrid {
 
     fn population(&self) -> u64 {
         self.population
+    }
+
+    /// Audits the backing location sample, plus the quantile grid: cells
+    /// are non-negative and finite, the boundary vectors are sorted with
+    /// `side − 1` entries each (or absent before the first rebuild), and
+    /// the sample respects its capacity.
+    #[cfg(feature = "debug-invariants")]
+    fn audit(&self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        const S: &str = "EquiDepthGrid";
+        self.store.audit()?;
+        ensure(
+            self.store.len() <= self.sample_capacity,
+            S,
+            "sample-bounds",
+            || {
+                format!(
+                    "sample {} over capacity {}",
+                    self.store.len(),
+                    self.sample_capacity
+                )
+            },
+        )?;
+        ensure(
+            self.cells.len() == self.side * self.side,
+            S,
+            "cell-grid",
+            || format!("{} cells for side {}", self.cells.len(), self.side),
+        )?;
+        for (i, &c) in self.cells.iter().enumerate() {
+            ensure(c.is_finite() && c >= 0.0, S, "cell-bounds", || {
+                format!("cell {i} holds {c}")
+            })?;
+        }
+        for (axis, bounds) in [("x", &self.x_bounds), ("y", &self.y_bounds)] {
+            ensure(
+                bounds.is_empty() || bounds.len() == self.side - 1,
+                S,
+                "boundaries",
+                || format!("{axis}: {} boundaries for side {}", bounds.len(), self.side),
+            )?;
+            ensure(
+                bounds.windows(2).all(|w| w[0] <= w[1]),
+                S,
+                "boundaries",
+                || format!("{axis}-boundaries not ascending"),
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,43 @@
+//! Typed errors for the fallible estimator APIs.
+
+/// What went wrong constructing or validating an estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// A sizing/domain parameter in [`EstimatorConfig`] is unusable.
+    ///
+    /// [`EstimatorConfig`]: crate::EstimatorConfig
+    InvalidConfig {
+        /// The offending `EstimatorConfig` field.
+        field: &'static str,
+        /// Why the value is rejected.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::InvalidConfig { field, reason } => {
+                write!(f, "invalid estimator config: `{field}` {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = EstimateError::InvalidConfig {
+            field: "memory_budget",
+            reason: "must be positive and finite (got 0)".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("memory_budget"), "{msg}");
+        assert!(msg.contains("positive"), "{msg}");
+    }
+}

@@ -62,6 +62,33 @@ impl Histogram2D {
         Rect::new(min_x, min_y, min_x + w, min_y + h)
     }
 
+    /// Full O(cells) invariant walk (the `debug-invariants` auditor):
+    ///
+    /// * **cell-bounds** — every cell count is finite and non-negative
+    ///   (retraction clamps at zero, never below).
+    /// * **mass-conservation** — the cell counts sum to the population
+    ///   counter: each insert adds exactly one unit of cell mass and each
+    ///   retraction of a previously inserted object removes exactly one
+    ///   (whole counts are exact in f64 far beyond window scale).
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit(&self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        const S: &str = "Histogram2D";
+        let mut sum = 0.0;
+        for (i, &c) in self.cells.iter().enumerate() {
+            ensure(c.is_finite() && c >= 0.0, S, "cell-bounds", || {
+                format!("cell {i} holds {c}")
+            })?;
+            sum += c;
+        }
+        ensure(
+            (sum - self.population as f64).abs() < 1e-6,
+            S,
+            "mass-conservation",
+            || format!("cells sum to {sum}, population is {}", self.population),
+        )
+    }
+
     /// Estimated count of objects inside `r` (spatial predicate only).
     fn estimate_range(&self, r: &Rect) -> f64 {
         let Some(clipped) = r.intersection(&self.domain) else {
@@ -137,6 +164,7 @@ impl SelectivityEstimator for Histogram2D {
             QueryType::Spatial | QueryType::Hybrid => {
                 // Hybrid: the keyword predicate is invisible to a purely
                 // spatial summary; answer from the range alone.
+                // LINT-ALLOW(no-panic): Spatial/Hybrid queries carry a range by construction
                 self.estimate_range(query.range().expect("spatial/hybrid has range"))
             }
             // No spatial statistics apply: the least-wrong purely spatial
@@ -156,6 +184,11 @@ impl SelectivityEstimator for Histogram2D {
 
     fn population(&self) -> u64 {
         self.population
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    fn audit(&self) -> Result<(), geostream::AuditError> {
+        Histogram2D::audit(self)
     }
 }
 

@@ -79,6 +79,7 @@ impl KmvSynopsis {
             // Synopsis not yet full: it holds every distinct element.
             return n as f64;
         }
+        // LINT-ALLOW(no-panic): callers reach this only after a non-empty check on the sketch
         let kth = *self.mins.iter().next_back().expect("non-empty");
         let normalized = (kth as f64 + 1.0) / (u64::MAX as f64 + 1.0);
         (self.k as f64 - 1.0) / normalized

@@ -21,6 +21,7 @@
 pub mod aasp;
 pub mod asp_tree;
 pub mod equidepth;
+pub mod error;
 pub mod ffn;
 pub mod histogram2d;
 pub mod kmv;
@@ -32,6 +33,8 @@ pub mod store;
 mod traits;
 pub mod windowed;
 
+pub use error::EstimateError;
 pub use traits::{
-    build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind, SelectivityEstimator,
+    build_estimator, try_build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind,
+    SelectivityEstimator,
 };

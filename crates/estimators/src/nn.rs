@@ -126,6 +126,7 @@ impl Mlp {
             .map(|(i, w)| DenseLayer::new(w[0], w[1], i == widths.len() - 2, &mut rng))
             .collect();
         let activations = widths.iter().map(|&w| Vec::with_capacity(w)).collect();
+        // LINT-ALLOW(no-panic): the width list always includes the input and output layers, so it is non-empty
         let max_width = widths.iter().copied().max().expect("non-empty widths");
         Mlp {
             layers,
@@ -155,6 +156,7 @@ impl Mlp {
             let (before, after) = self.activations.split_at_mut(i + 1);
             layer.forward(&before[i], &mut after[0]);
         }
+        // LINT-ALLOW(no-panic): the network is constructed with at least one layer, so activations is non-empty
         self.activations.last().expect("has layers")
     }
 
@@ -192,6 +194,7 @@ impl Mlp {
     /// before the update.
     pub fn train(&mut self, input: &[f64], target: &[f64]) -> f64 {
         self.forward(input);
+        // LINT-ALLOW(no-panic): the network is constructed with at least one layer, so activations is non-empty
         let output = self.activations.last().expect("has layers");
         debug_assert_eq!(output.len(), target.len());
         // Reused delta buffers: no clones of the activation vectors (the

@@ -150,6 +150,31 @@ impl SelectivityEstimator for ReservoirList {
     fn population(&self) -> u64 {
         self.population
     }
+
+    /// Audits the backing store, plus the reservoir bounds: the sample
+    /// never exceeds its capacity, the live window population, or the
+    /// arrivals seen.
+    #[cfg(feature = "debug-invariants")]
+    fn audit(&self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        self.store.audit()?;
+        ensure(
+            self.store.len() <= self.capacity
+                && self.store.len() as u64 <= self.population
+                && self.store.len() as u64 <= self.seen,
+            "ReservoirList",
+            "sample-bounds",
+            || {
+                format!(
+                    "sample {} vs capacity {} population {} seen {}",
+                    self.store.len(),
+                    self.capacity,
+                    self.population,
+                    self.seen
+                )
+            },
+        )
+    }
 }
 
 #[cfg(test)]

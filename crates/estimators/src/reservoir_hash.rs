@@ -238,6 +238,46 @@ impl SelectivityEstimator for ReservoirHash {
     fn population(&self) -> u64 {
         self.population
     }
+
+    /// Audits the backing store, plus the spatial grid over it: every
+    /// sampled slot is linked under exactly the cell its coordinates hash
+    /// to, and the grid holds nothing else.
+    #[cfg(feature = "debug-invariants")]
+    fn audit(&self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        const S: &str = "ReservoirHash";
+        self.store.audit()?;
+        ensure(
+            self.store.len() <= self.capacity,
+            S,
+            "sample-bounds",
+            || {
+                format!(
+                    "sample {} over capacity {}",
+                    self.store.len(),
+                    self.capacity
+                )
+            },
+        )?;
+        let linked: usize = self.grid.values().map(Vec::len).sum();
+        ensure(linked == self.store.len(), S, "grid-coverage", || {
+            format!("{linked} grid links for {} slots", self.store.len())
+        })?;
+        for (&cell, slots) in &self.grid {
+            ensure(!slots.is_empty(), S, "grid-coverage", || {
+                format!("cell {cell} kept with an empty slot list")
+            })?;
+            for &slot in slots {
+                ensure(
+                    (slot as usize) < self.store.len() && self.cell_of_slot(slot) == cell,
+                    S,
+                    "grid-placement",
+                    || format!("slot {slot} linked under cell {cell}"),
+                )?;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

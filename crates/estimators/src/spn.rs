@@ -358,6 +358,19 @@ impl SelectivityEstimator for SpnEstimator {
     fn population(&self) -> u64 {
         self.population
     }
+
+    /// Audits the training buffer, plus its capacity bound.
+    #[cfg(feature = "debug-invariants")]
+    fn audit(&self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        self.buffer.audit()?;
+        ensure(
+            self.buffer.len() <= self.buffer_capacity,
+            "SpnEstimator",
+            "buffer-capacity",
+            || format!("buffer {} over {}", self.buffer.len(), self.buffer_capacity),
+        )
+    }
 }
 
 #[cfg(test)]

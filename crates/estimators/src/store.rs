@@ -76,11 +76,13 @@ fn pack(slot: u32, gen: u32) -> u64 {
 
 #[inline]
 fn entry_slot(e: u64) -> u32 {
+    // LINT-ALLOW(as-truncation): the shift leaves exactly the upper 32 bits of the packed (slot, gen) pair
     (e >> 32) as u32
 }
 
 #[inline]
 fn entry_gen(e: u64) -> u32 {
+    // LINT-ALLOW(as-truncation): truncation extracts exactly the low 32 bits of the packed (slot, gen) pair
     e as u32
 }
 
@@ -217,12 +219,15 @@ impl SampleStore {
 
     /// Appends `obj` at slot `len`, returning its slot.
     pub fn push(&mut self, obj: &GeoTextObject) -> u32 {
+        // LINT-ALLOW(as-truncation): slot count is bounded by the reservoir capacity, far below u32::MAX
         let slot = self.xs.len() as u32;
         self.xs.push(obj.loc.x);
         self.ys.push(obj.loc.y);
         self.oids.push(obj.oid);
+        // LINT-ALLOW(as-truncation): pool length is bounded by capacity x keywords-per-object, well below u32::MAX
         let off = self.kw_pool.len() as u32;
         self.kw_pool.extend_from_slice(&obj.keywords);
+        // LINT-ALLOW(as-truncation): per-object keyword counts are tiny (tens at most)
         self.kw_ranges.push((off, obj.keywords.len() as u32));
         if self.slot_gen.len() <= slot as usize {
             self.slot_gen.push(0);
@@ -247,8 +252,10 @@ impl SampleStore {
         self.xs[s] = obj.loc.x;
         self.ys[s] = obj.loc.y;
         self.oids[s] = obj.oid;
+        // LINT-ALLOW(as-truncation): pool length is bounded by capacity x keywords-per-object, well below u32::MAX
         let off = self.kw_pool.len() as u32;
         self.kw_pool.extend_from_slice(&obj.keywords);
+        // LINT-ALLOW(as-truncation): per-object keyword counts are tiny (tens at most)
         self.kw_ranges[s] = (off, obj.keywords.len() as u32);
         self.slot_of.insert(obj.oid, slot);
         if let Some(p) = self.postings.as_mut() {
@@ -288,6 +295,7 @@ impl SampleStore {
             self.ys[slot] = self.ys[last];
             self.oids[slot] = moved_oid;
             self.kw_ranges[slot] = (moved_off, moved_len);
+            // LINT-ALLOW(as-truncation): slot indices are bounded by the reservoir capacity, far below u32::MAX
             self.slot_of.insert(moved_oid, slot as u32);
             self.slot_gen[slot] = self.slot_gen[slot].wrapping_add(1);
             self.slot_gen[last] = self.slot_gen[last].wrapping_add(1);
@@ -298,11 +306,13 @@ impl SampleStore {
                 // Re-post the moved object at its new slot, then tombstone
                 // both its stale entries (at `last`) and the victim's.
                 for i in moved_off..moved_off + moved_len {
+                    // LINT-ALLOW(as-truncation): slot indices are bounded by the reservoir capacity, far below u32::MAX
                     p.post(self.kw_pool[i as usize], slot as u32, gen);
                 }
                 for i in moved_off..moved_off + moved_len {
                     p.tombstone(
                         self.kw_pool[i as usize],
+                        // LINT-ALLOW(as-truncation): `last` is a live slot index, bounded by the reservoir capacity
                         last as u32,
                         moved_old_gen,
                         &self.slot_gen,
@@ -312,6 +322,7 @@ impl SampleStore {
                 for i in gone_off..gone_off + gone_len {
                     p.tombstone(
                         self.kw_pool[i as usize],
+                        // LINT-ALLOW(as-truncation): slot indices are bounded by the reservoir capacity, far below u32::MAX
                         slot as u32,
                         victim_gen,
                         &self.slot_gen,
@@ -328,6 +339,7 @@ impl SampleStore {
                 for i in gone_off..gone_off + gone_len {
                     p.tombstone(
                         self.kw_pool[i as usize],
+                        // LINT-ALLOW(as-truncation): slot indices are bounded by the reservoir capacity, far below u32::MAX
                         slot as u32,
                         victim_gen,
                         &self.slot_gen,
@@ -338,6 +350,7 @@ impl SampleStore {
         }
         self.kw_garbage += gone_len as usize;
         self.maybe_compact_pool();
+        // LINT-ALLOW(as-truncation): `slot` round-trips a u32-sized slot index through usize
         Some(slot as u32)
     }
 
@@ -355,6 +368,7 @@ impl SampleStore {
         let mut pool = Vec::with_capacity(self.kw_pool.len() - self.kw_garbage);
         for r in self.kw_ranges.iter_mut() {
             let (off, len) = *r;
+            // LINT-ALLOW(as-truncation): pool length is bounded by capacity x keywords-per-object, well below u32::MAX
             let start = pool.len() as u32;
             pool.extend_from_slice(&self.kw_pool[off as usize..(off + len) as usize]);
             *r = (start, len);
@@ -409,9 +423,13 @@ impl SampleStore {
         for (cx, cy) in self.xs.chunks(CHUNK).zip(self.ys.chunks(CHUNK)) {
             let mut c = 0u32;
             for (&x, &y) in cx.iter().zip(cy.iter()) {
+                // LINT-ALLOW(as-truncation): bool casts to exactly 0 or 1: the branch-free membership kernel
                 c += (x >= r.min_x) as u32
+                    // LINT-ALLOW(as-truncation): bool casts to exactly 0 or 1
                     & (x <= r.max_x) as u32
+                    // LINT-ALLOW(as-truncation): bool casts to exactly 0 or 1
                     & (y >= r.min_y) as u32
+                    // LINT-ALLOW(as-truncation): bool casts to exactly 0 or 1
                     & (y <= r.max_y) as u32;
             }
             total += c as usize;
@@ -515,6 +533,7 @@ impl SampleStore {
                     }
                 }
                 let mut c = 0usize;
+                // LINT-ALLOW(as-truncation): n is the live sample length, bounded by the reservoir capacity
                 for s in 0..n as u32 {
                     if self.slot_in_rect(s, r) && intersects_sorted(self.keywords(s), kws) {
                         c += 1;
@@ -534,6 +553,7 @@ impl SampleStore {
                     self.for_each_union_slot(kws, |_| c += 1);
                     return c;
                 }
+                // LINT-ALLOW(as-truncation): n is the live sample length, bounded by the reservoir capacity
                 (0..n as u32)
                     .filter(|&s| intersects_sorted(self.keywords(s), kws))
                     .count()
@@ -571,6 +591,166 @@ impl SampleStore {
                 posting_entries * size_of::<u64>()
                     + p.map.len() * (size_of::<KeywordId>() + size_of::<PostingList>())
             })
+    }
+}
+
+#[cfg(feature = "debug-invariants")]
+impl SampleStore {
+    /// Full O(n + postings) invariant walk (the `debug-invariants`
+    /// auditor):
+    ///
+    /// * **columns** — all parallel arrays have the same length, and
+    ///   `slot_gen` covers every slot.
+    /// * **identity** — `slot_of` is the exact inverse of `oids` (which
+    ///   also proves the ids are distinct).
+    /// * **kw-ranges** — every per-slot range lies inside `kw_pool`.
+    /// * **kw-garbage** — the garbage counter equals the pool bytes not
+    ///   referenced by any live range.
+    /// * **finite-coords** — every stored coordinate is finite (the match
+    ///   kernels' comparisons assume it).
+    /// * **posting-sorted** — every posting list is strictly ascending in
+    ///   the packed `(slot, gen)` key (binary search depends on it).
+    /// * **dead-counter** — each list's maintained `dead` count equals the
+    ///   number of entries whose generation no longer matches.
+    /// * **posting-coverage** — every live slot's keywords are posted
+    ///   under the slot's current generation.
+    /// * **total-entries** — the O(1) entry counter matches the lists.
+    /// * **memory** — [`Self::memory_bytes`] agrees with the O(n)
+    ///   recomputation.
+    pub fn audit(&self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        const S: &str = "SampleStore";
+        let n = self.xs.len();
+        ensure(
+            self.ys.len() == n && self.oids.len() == n && self.kw_ranges.len() == n,
+            S,
+            "columns",
+            || {
+                format!(
+                    "xs {} ys {} oids {} kw_ranges {}",
+                    n,
+                    self.ys.len(),
+                    self.oids.len(),
+                    self.kw_ranges.len()
+                )
+            },
+        )?;
+        ensure(self.slot_gen.len() >= n, S, "columns", || {
+            format!("slot_gen {} < len {n}", self.slot_gen.len())
+        })?;
+        ensure(self.slot_of.len() == n, S, "identity", || {
+            format!("slot_of holds {} ids for {n} slots", self.slot_of.len())
+        })?;
+        let mut ranged = 0usize;
+        for s in 0..n {
+            // LINT-ALLOW(as-truncation): slot indices fit u32 by construction (push caps the store)
+            let slot = s as u32;
+            ensure(
+                self.slot_of.get(&self.oids[s]) == Some(&slot),
+                S,
+                "identity",
+                || format!("slot {s} holds {:?} but slot_of disagrees", self.oids[s]),
+            )?;
+            let (off, len) = self.kw_ranges[s];
+            ensure(
+                (off as usize) + (len as usize) <= self.kw_pool.len(),
+                S,
+                "kw-ranges",
+                || {
+                    format!(
+                        "slot {s} range ({off}, {len}) exceeds pool {}",
+                        self.kw_pool.len()
+                    )
+                },
+            )?;
+            ranged += len as usize;
+            ensure(
+                self.xs[s].is_finite() && self.ys[s].is_finite(),
+                S,
+                "finite-coords",
+                || format!("slot {s} at ({}, {})", self.xs[s], self.ys[s]),
+            )?;
+        }
+        ensure(
+            self.kw_pool.len() == ranged + self.kw_garbage,
+            S,
+            "kw-garbage",
+            || {
+                format!(
+                    "pool {} != ranged {ranged} + garbage {}",
+                    self.kw_pool.len(),
+                    self.kw_garbage
+                )
+            },
+        )?;
+        if let Some(p) = self.postings.as_ref() {
+            let mut entries_seen = 0usize;
+            for (kw, list) in &p.map {
+                entries_seen += list.entries.len();
+                let mut actual_dead = 0u32;
+                for (i, &e) in list.entries.iter().enumerate() {
+                    if i > 0 {
+                        ensure(list.entries[i - 1] < e, S, "posting-sorted", || {
+                            format!("{kw:?} entries out of order at {i}")
+                        })?;
+                    }
+                    let s = entry_slot(e) as usize;
+                    if s >= n || self.slot_gen[s] != entry_gen(e) {
+                        actual_dead += 1;
+                    }
+                }
+                ensure(list.dead == actual_dead, S, "dead-counter", || {
+                    format!(
+                        "{kw:?} maintains dead {} but {actual_dead} entries are dead",
+                        list.dead
+                    )
+                })?;
+            }
+            ensure(p.total_entries == entries_seen, S, "total-entries", || {
+                format!("counter {} != walked {entries_seen}", p.total_entries)
+            })?;
+            for s in 0..n {
+                let gen = self.slot_gen[s];
+                // LINT-ALLOW(as-truncation): slot indices fit u32 by construction (push caps the store)
+                let slot = s as u32;
+                for &kw in self.keywords(slot) {
+                    let posted = p
+                        .map
+                        .get(&kw)
+                        .is_some_and(|l| l.entries.binary_search(&pack(slot, gen)).is_ok());
+                    ensure(posted, S, "posting-coverage", || {
+                        format!("slot {s} gen {gen} not posted under {kw:?}")
+                    })?;
+                }
+            }
+        }
+        ensure(
+            self.memory_bytes() == self.recompute_memory_bytes(),
+            S,
+            "memory",
+            || {
+                format!(
+                    "maintained {} != recomputed {}",
+                    self.memory_bytes(),
+                    self.recompute_memory_bytes()
+                )
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Test hook: desynchronizes the dead counter of one posting list (the
+    /// seeded corruption the audit regression test plants), returning
+    /// whether a non-empty list existed to corrupt.
+    #[doc(hidden)]
+    pub fn debug_desync_dead_counter(&mut self) -> bool {
+        if let Some(p) = self.postings.as_mut() {
+            if let Some(list) = p.map.values_mut().find(|l| !l.entries.is_empty()) {
+                list.dead += 1;
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -766,5 +946,35 @@ mod tests {
             let q = RcDvq::hybrid(rect, kws);
             assert_eq!(s.count(&q), naive_count(&s, &q));
         }
+    }
+
+    /// The auditor passes on a heavily churned store and flags a seeded
+    /// one-off corruption — a desynced posting dead counter, the exact
+    /// drift the lazy-tombstone accounting could silently accumulate.
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    fn audit_survives_churn_and_catches_seeded_corruption() {
+        let mut s = SampleStore::new(true);
+        let mut rng = 0xabcdu64;
+        let mut live: Vec<ObjectId> = Vec::new();
+        for i in 0..2_000u64 {
+            let r = lcg(&mut rng);
+            if live.len() > 64 && r % 3 == 0 {
+                let victim = live.swap_remove((r % live.len() as u64) as usize);
+                s.remove(victim);
+            } else {
+                let kws: Vec<u32> = (0..(r % 4)).map(|k| ((r >> 7) + k) as u32 % 16).collect();
+                s.push(&obj(i, (r % 100) as f64, (r % 97) as f64, &kws));
+                live.push(ObjectId(i));
+            }
+            if i % 250 == 0 {
+                s.audit().unwrap_or_else(|e| panic!("churn step {i}: {e}"));
+            }
+        }
+        s.audit().expect("post-churn audit");
+        assert!(s.debug_desync_dead_counter(), "churn left no postings");
+        let err = s.audit().expect_err("desynced counter must be caught");
+        assert_eq!(err.structure, "SampleStore");
+        assert_eq!(err.invariant, "dead-counter");
     }
 }

@@ -113,6 +113,47 @@ impl Default for EstimatorConfig {
 }
 
 impl EstimatorConfig {
+    /// Checks that every sizing/domain parameter is usable by all six
+    /// estimator kinds. [`try_build_estimator`] runs this before
+    /// constructing anything, and `LatestConfig::validate` (in
+    /// `latest-core`) surfaces the same errors at system-assembly time.
+    pub fn validate(&self) -> Result<(), crate::EstimateError> {
+        let invalid = |field: &'static str, reason: String| {
+            Err(crate::EstimateError::InvalidConfig { field, reason })
+        };
+        if !(self.domain.max_x > self.domain.min_x && self.domain.max_y > self.domain.min_y) {
+            return invalid(
+                "domain",
+                format!(
+                    "must have positive extent (got x {}..{}, y {}..{})",
+                    self.domain.min_x, self.domain.max_x, self.domain.min_y, self.domain.max_y
+                ),
+            );
+        }
+        if !(self.memory_budget.is_finite() && self.memory_budget > 0.0) {
+            return invalid(
+                "memory_budget",
+                format!("must be positive and finite (got {})", self.memory_budget),
+            );
+        }
+        if self.reservoir_capacity == 0 {
+            return invalid("reservoir_capacity", "must be nonzero".into());
+        }
+        if self.grid_cells == 0 {
+            return invalid("grid_cells", "must be nonzero".into());
+        }
+        if !(self.aasp_split_value.is_finite() && self.aasp_split_value > 0.0) {
+            return invalid(
+                "aasp_split_value",
+                format!(
+                    "must be positive and finite (got {})",
+                    self.aasp_split_value
+                ),
+            );
+        }
+        Ok(())
+    }
+
     /// Effective reservoir capacity after the budget multiplier.
     pub fn scaled_reservoir(&self) -> usize {
         ((self.reservoir_capacity as f64 * self.memory_budget) as usize).max(16)
@@ -174,6 +215,7 @@ pub trait SelectivityEstimator: Send {
     /// Estimates the RC-DVQ selectivity (number of matching window
     /// objects). Never negative; may exceed the window size for rough
     /// estimators.
+    #[must_use = "an estimate is a pure read; discarding it wastes the traversal"]
     fn estimate(&self, query: &RcDvq) -> f64;
 
     /// Feedback after the query executed on actual data: the true
@@ -190,23 +232,51 @@ pub trait SelectivityEstimator: Send {
     /// Number of window objects currently represented (the population the
     /// estimator scales to).
     fn population(&self) -> u64;
+
+    /// Deep invariant audit (the `debug-invariants` feature): a full walk
+    /// that re-derives the estimator's maintained counters and checks its
+    /// internal structures for corruption. The default has nothing to
+    /// audit.
+    #[cfg(feature = "debug-invariants")]
+    fn audit(&self) -> Result<(), geostream::AuditError> {
+        Ok(())
+    }
 }
 
 /// Convenience alias for a boxed estimator.
 pub type BoxedEstimator = Box<dyn SelectivityEstimator>;
 
-/// Builds a fresh (empty) estimator of `kind` under `config`. This is the
-/// factory the estimator adaptor uses when it starts pre-filling a
-/// recommended replacement (§V-D).
-pub fn build_estimator(kind: EstimatorKind, config: &EstimatorConfig) -> BoxedEstimator {
-    match kind {
+/// Builds a fresh (empty) estimator of `kind` under `config`, validating
+/// the configuration first. This is the fallible entry point; systems that
+/// assemble configs from user input should prefer it over
+/// [`build_estimator`].
+pub fn try_build_estimator(
+    kind: EstimatorKind,
+    config: &EstimatorConfig,
+) -> Result<BoxedEstimator, crate::EstimateError> {
+    config.validate()?;
+    Ok(match kind {
         EstimatorKind::H4096 => Box::new(crate::histogram2d::Histogram2D::new(config)),
         EstimatorKind::Rsl => Box::new(crate::reservoir::ReservoirList::new(config)),
         EstimatorKind::Rsh => Box::new(crate::reservoir_hash::ReservoirHash::new(config)),
         EstimatorKind::Aasp => Box::new(crate::aasp::AaspTree::new(config)),
         EstimatorKind::Ffn => Box::new(crate::ffn::FfnEstimator::new(config)),
         EstimatorKind::Spn => Box::new(crate::spn::SpnEstimator::new(config)),
-    }
+    })
+}
+
+/// Builds a fresh (empty) estimator of `kind` under `config`. This is the
+/// factory the estimator adaptor uses when it starts pre-filling a
+/// recommended replacement (§V-D).
+///
+/// # Panics
+/// Panics if `config` fails [`EstimatorConfig::validate`]; use
+/// [`try_build_estimator`] to handle invalid configs as a typed error.
+pub fn build_estimator(kind: EstimatorKind, config: &EstimatorConfig) -> BoxedEstimator {
+    // LINT-ALLOW(no-panic): documented panicking convenience wrapper; the
+    // fallible path is try_build_estimator, and LatestConfig::validate
+    // rejects invalid estimator configs before any system reaches here.
+    try_build_estimator(kind, config).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -239,6 +309,49 @@ mod tests {
         c.memory_budget = 1e-9;
         assert!(c.scaled_reservoir() >= 16);
         assert!(c.scaled_grid_side() >= 2);
+    }
+
+    #[test]
+    fn invalid_configs_surface_typed_errors() {
+        use crate::EstimateError;
+        let cases: [(&str, EstimatorConfig); 4] = [
+            (
+                "memory_budget",
+                EstimatorConfig {
+                    memory_budget: 0.0,
+                    ..EstimatorConfig::default()
+                },
+            ),
+            (
+                "reservoir_capacity",
+                EstimatorConfig {
+                    reservoir_capacity: 0,
+                    ..EstimatorConfig::default()
+                },
+            ),
+            (
+                "grid_cells",
+                EstimatorConfig {
+                    grid_cells: 0,
+                    ..EstimatorConfig::default()
+                },
+            ),
+            (
+                "aasp_split_value",
+                EstimatorConfig {
+                    aasp_split_value: f64::NAN,
+                    ..EstimatorConfig::default()
+                },
+            ),
+        ];
+        for (expect_field, config) in cases {
+            let err = try_build_estimator(EstimatorKind::Rsl, &config)
+                .err()
+                .unwrap_or_else(|| panic!("{expect_field} should be rejected"));
+            let EstimateError::InvalidConfig { field, .. } = err;
+            assert_eq!(field, expect_field);
+        }
+        assert!(try_build_estimator(EstimatorKind::Rsl, &EstimatorConfig::default()).is_ok());
     }
 
     #[test]

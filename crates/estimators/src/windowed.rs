@@ -98,7 +98,9 @@ impl SelectivityEstimator for WindowedSampler {
             .keys
             .iter()
             .enumerate()
+            // LINT-ALLOW(no-panic): priority keys are finite by construction, so partial_cmp succeeds
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite keys"))
+            // LINT-ALLOW(no-panic): the sample is non-empty whenever it has reached capacity
             .expect("sample non-empty at capacity");
         if key > min_key {
             self.store.replace(min_slot as u32, obj);
@@ -137,6 +139,33 @@ impl SelectivityEstimator for WindowedSampler {
 
     fn population(&self) -> u64 {
         self.population
+    }
+
+    /// Audits the backing store, plus the key column: one finite priority
+    /// key per sampled slot, sample within capacity.
+    #[cfg(feature = "debug-invariants")]
+    fn audit(&self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        self.store.audit()?;
+        ensure(
+            self.keys.len() == self.store.len() && self.store.len() <= self.capacity,
+            "WindowedSampler",
+            "key-column",
+            || {
+                format!(
+                    "{} keys for {} slots (capacity {})",
+                    self.keys.len(),
+                    self.store.len(),
+                    self.capacity
+                )
+            },
+        )?;
+        ensure(
+            self.keys.iter().all(|k| k.is_finite()),
+            "WindowedSampler",
+            "key-column",
+            || "non-finite priority key".into(),
+        )
     }
 }
 

@@ -123,6 +123,12 @@ pub struct ExactExecutor {
     store: ObjectStore,
     backend: Backend,
     inverted: InvertedIndex,
+    /// Per-access-path query counters, updated with `Ordering::Relaxed`:
+    /// they are pure statistics. No other memory is published through
+    /// them, no control flow synchronizes on them, and each counter only
+    /// needs its own eventual sum — exactly the per-variable atomicity
+    /// Relaxed guarantees. `&self` query paths stay shareable across
+    /// threads without a mutex.
     spatial_hits: AtomicU64,
     inverted_hits: AtomicU64,
 }
@@ -182,6 +188,16 @@ impl ExactExecutor {
     /// Posting-list compactions performed so far (bench diagnostics).
     pub fn compactions(&self) -> u64 {
         self.inverted.compactions()
+    }
+
+    /// Deep cross-structure invariant walk (the `debug-invariants`
+    /// auditor): the store's slot/identity/free-list invariants, then the
+    /// inverted index's posting order, tombstone counters, live-object
+    /// coverage, and parked-reference accounting against that store.
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit(&self) -> Result<(), geostream::AuditError> {
+        self.store.audit()?;
+        self.inverted.audit(&self.store)
     }
 
     /// Indexes an arriving window object. A live object with the same id
@@ -260,13 +276,17 @@ impl ExactExecutor {
     pub fn execute(&self, query: &RcDvq) -> u64 {
         match self.plan(query) {
             AccessPath::Spatial => {
+                // Relaxed ordering: statistics counter; see the field docs
+                // on `spatial_hits`/`inverted_hits`.
                 self.spatial_hits.fetch_add(1, Ordering::Relaxed);
                 self.backend.count(query, &self.store)
             }
             AccessPath::Inverted => {
+                // Relaxed ordering: statistics counter, as above.
                 self.inverted_hits.fetch_add(1, Ordering::Relaxed);
                 self.inverted
                     .count(query, &self.store)
+                    // LINT-ALLOW(no-panic): the planner returns Inverted only for keyword-bearing queries
                     .expect("planner only routes keyword-bearing queries here")
             }
         }
@@ -281,6 +301,10 @@ impl ExactExecutor {
 
     /// Snapshot of how many queries each access path has served.
     pub fn path_mix(&self) -> PathMix {
+        // Relaxed ordering: each load only needs that counter's own value;
+        // a snapshot taken while queries run may split a concurrent
+        // increment between the two fields, which is inherent to any
+        // non-locking pair of counters and fine for statistics.
         PathMix {
             spatial: self.spatial_hits.load(Ordering::Relaxed),
             inverted: self.inverted_hits.load(Ordering::Relaxed),
@@ -289,6 +313,8 @@ impl ExactExecutor {
 
     /// Resets the path-mix counters (bench warmup isolation).
     pub fn reset_path_mix(&self) {
+        // Relaxed ordering: callers quiesce queries around a reset (bench
+        // warmup boundaries); no other writes are published through these.
         self.spatial_hits.store(0, Ordering::Relaxed);
         self.inverted_hits.store(0, Ordering::Relaxed);
     }
@@ -329,6 +355,77 @@ mod tests {
             let kws = [(i % 10) as u32];
             e.insert(&obj(i, x, x / 2.0, &kws));
         }
+    }
+
+    /// Every backend's executor stays audit-clean through insert/remove
+    /// churn dense enough to force slot recycling, posting tombstones,
+    /// and mid-stream compactions.
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    fn audit_passes_under_churn_on_every_backend() {
+        for kind in [
+            SpatialIndexKind::Grid,
+            SpatialIndexKind::Quadtree,
+            SpatialIndexKind::RTree,
+        ] {
+            let mut e = ExactExecutor::new(DOMAIN, kind);
+            let mut state = 0x5eedu64;
+            let mut live: Vec<u64> = Vec::new();
+            for i in 0..1_500u64 {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
+                let r = state >> 11;
+                if live.len() > 50 && r % 3 == 0 {
+                    let id = live.swap_remove((r % live.len() as u64) as usize);
+                    e.remove_by_oid(ObjectId(id));
+                } else {
+                    // Few distinct keywords → long shared postings → the
+                    // 25% tombstone threshold trips repeatedly.
+                    let kws = [(r % 6) as u32];
+                    e.insert(&obj(i, (r % 100) as f64, (r % 97) as f64, &kws));
+                    live.push(i);
+                }
+                if i % 200 == 0 {
+                    e.audit()
+                        .unwrap_or_else(|err| panic!("{kind:?} step {i}: {err}"));
+                }
+            }
+            assert!(e.compactions() > 0, "{kind:?} churn never compacted");
+            e.audit()
+                .unwrap_or_else(|err| panic!("{kind:?} final: {err}"));
+        }
+    }
+
+    /// The Relaxed path-mix counters lose no increments under concurrent
+    /// queries: per-counter atomicity is all their exactness relies on
+    /// (no cross-counter ordering is claimed — see the field docs).
+    #[test]
+    fn path_mix_counters_are_exact_under_concurrent_queries() {
+        let mut e = ExactExecutor::new(DOMAIN, SpatialIndexKind::Grid);
+        populate(&mut e);
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 250;
+        let e = &e;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Alternate access paths so both counters race.
+                        let q = if (t + i) % 2 == 0 {
+                            RcDvq::spatial(Rect::new(0.0, 0.0, 50.0, 50.0))
+                        } else {
+                            RcDvq::keyword(vec![KeywordId(((t + i) % 10) as u32)])
+                        };
+                        let _ = e.execute(&q);
+                    }
+                });
+            }
+        });
+        let mix = e.path_mix();
+        assert_eq!(mix.total(), (THREADS * PER_THREAD) as u64);
+        assert_eq!(mix.spatial, (THREADS * PER_THREAD / 2) as u64);
+        assert_eq!(mix.inverted, (THREADS * PER_THREAD / 2) as u64);
     }
 
     #[test]

@@ -185,6 +185,74 @@ impl InvertedIndex {
     }
 }
 
+#[cfg(feature = "debug-invariants")]
+impl InvertedIndex {
+    /// Full O(postings) invariant walk against the shared store (the
+    /// `debug-invariants` auditor):
+    ///
+    /// * **posting-sorted** — every posting list is strictly ascending in
+    ///   slot id (binary-search insertion and k-way merging depend on it).
+    /// * **dead-counter** — each list's maintained tombstone count equals
+    ///   the number of its slots no longer live in the store.
+    /// * **posting-coverage** — every live object's keywords post its
+    ///   slot.
+    /// * **pending-refs** — each dead slot's outstanding reference count
+    ///   in the store equals the posting entries still mentioning it (the
+    ///   contract that keeps recycled slots from aliasing stale entries).
+    pub fn audit(&self, store: &ObjectStore) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        const S: &str = "InvertedIndex";
+        let mut refs: HashMap<SlotId, u32> = HashMap::new();
+        for (kw, posting) in &self.postings {
+            let mut dead = 0u32;
+            for (i, &slot) in posting.slots.iter().enumerate() {
+                if i > 0 {
+                    ensure(posting.slots[i - 1] < slot, S, "posting-sorted", || {
+                        format!("{kw:?} slots out of order at {i}")
+                    })?;
+                }
+                if !store.is_live(slot) {
+                    dead += 1;
+                    *refs.entry(slot).or_insert(0) += 1;
+                }
+            }
+            ensure(posting.dead == dead, S, "dead-counter", || {
+                format!(
+                    "{kw:?} maintains dead {} but {dead} slots are dead",
+                    posting.dead
+                )
+            })?;
+        }
+        let mut coverage_gap: Option<(SlotId, KeywordId)> = None;
+        for (slot, obj) in store.iter_live() {
+            for &kw in obj.keywords.iter() {
+                let posted = self
+                    .postings
+                    .get(&kw)
+                    .is_some_and(|p| p.slots.binary_search(&slot).is_ok());
+                if coverage_gap.is_none() && !posted {
+                    coverage_gap = Some((slot, kw));
+                }
+            }
+        }
+        ensure(coverage_gap.is_none(), S, "posting-coverage", || {
+            let (slot, kw) = coverage_gap.unwrap_or((0, KeywordId(0)));
+            format!("live slot {slot} not posted under {kw:?}")
+        })?;
+        for slot in 0..store.slot_capacity() as SlotId {
+            if store.is_live(slot) {
+                continue;
+            }
+            let expected = refs.get(&slot).copied().unwrap_or(0);
+            let parked = store.pending_refs_of(slot);
+            ensure(parked == expected, S, "pending-refs", || {
+                format!("dead slot {slot} parks {parked} refs, {expected} entries remain")
+            })?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

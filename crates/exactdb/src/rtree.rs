@@ -123,14 +123,17 @@ impl RTreeIndex {
                             let nb = &self.nodes[b as usize];
                             enlargement(&na.mbr, rect)
                                 .partial_cmp(&enlargement(&nb.mbr, rect))
+                                // LINT-ALLOW(no-panic): MBR areas are products of finite extents, so partial_cmp succeeds
                                 .expect("finite areas")
                                 .then(
                                     na.mbr
                                         .area()
                                         .partial_cmp(&nb.mbr.area())
+                                        // LINT-ALLOW(no-panic): MBR areas are products of finite extents, so partial_cmp succeeds
                                         .expect("finite areas"),
                                 )
                         })
+                        // LINT-ALLOW(no-panic): internal nodes always hold at least one child entry
                         .expect("internal nodes are non-empty");
                 }
             }

@@ -91,6 +91,7 @@ impl ObjectStore {
     pub fn get(&self, slot: SlotId) -> &GeoTextObject {
         self.slots[slot as usize]
             .as_ref()
+            // LINT-ALLOW(no-panic): the free list only ever holds indices of dead slots
             .expect("index holds a dead slot")
     }
 
@@ -141,8 +142,10 @@ impl ObjectStore {
         let slot = self.by_oid.remove(&oid)?;
         let obj = self.slots[slot as usize]
             .take()
+            // LINT-ALLOW(no-panic): by_oid entries are removed before their slot is freed, so the slot is occupied
             .expect("by_oid points at an occupied slot");
         self.live[slot as usize] = false;
+        // LINT-ALLOW(as-truncation): per-object keyword counts are tiny (tens at most)
         let refs = obj.keywords.len() as u32;
         self.pending_refs[slot as usize] = refs;
         if refs == 0 {
@@ -160,6 +163,95 @@ impl ObjectStore {
         if *refs == 0 {
             self.free.push(slot);
         }
+    }
+
+    /// Outstanding posting-list references parked on a slot (zero for
+    /// live or out-of-range slots). Auditor-only cross-check against the
+    /// inverted index's actual tombstone entries.
+    #[cfg(feature = "debug-invariants")]
+    pub(crate) fn pending_refs_of(&self, slot: SlotId) -> u32 {
+        self.pending_refs.get(slot as usize).copied().unwrap_or(0)
+    }
+
+    /// Full O(slots) invariant walk (the `debug-invariants` auditor):
+    ///
+    /// * **parallel-arrays** — `slots`, `live`, and `pending_refs` have
+    ///   the same length.
+    /// * **identity** — `by_oid` maps exactly the live population: every
+    ///   entry points at a live slot holding that oid, and every live slot
+    ///   is pointed at.
+    /// * **liveness** — a live slot is occupied with zero pending
+    ///   references; a dead slot is vacant.
+    /// * **free-list** — the free list holds exactly the dead slots with
+    ///   no outstanding posting references, each once (parked slots —
+    ///   dead with references — are excluded until fully released).
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit(&self) -> Result<(), geostream::AuditError> {
+        use geostream::audit::ensure;
+        const S: &str = "ObjectStore";
+        let n = self.slots.len();
+        ensure(
+            self.live.len() == n && self.pending_refs.len() == n,
+            S,
+            "parallel-arrays",
+            || {
+                format!(
+                    "slots {n} live {} pending_refs {}",
+                    self.live.len(),
+                    self.pending_refs.len()
+                )
+            },
+        )?;
+        let mut live_count = 0usize;
+        for s in 0..n {
+            match (&self.slots[s], self.live[s]) {
+                (Some(obj), true) => {
+                    live_count += 1;
+                    ensure(self.pending_refs[s] == 0, S, "liveness", || {
+                        format!(
+                            "live slot {s} carries {} pending refs",
+                            self.pending_refs[s]
+                        )
+                    })?;
+                    ensure(
+                        self.by_oid.get(&obj.oid) == Some(&(s as SlotId)),
+                        S,
+                        "identity",
+                        || format!("slot {s} holds {:?} but by_oid disagrees", obj.oid),
+                    )?;
+                }
+                (None, false) => {}
+                (occupied, live) => {
+                    ensure(false, S, "liveness", || {
+                        format!("slot {s}: occupied={} live={live}", occupied.is_some())
+                    })?;
+                }
+            }
+        }
+        ensure(self.by_oid.len() == live_count, S, "identity", || {
+            format!(
+                "by_oid maps {} oids, {live_count} slots live",
+                self.by_oid.len()
+            )
+        })?;
+        let mut in_free = vec![false; n];
+        for &slot in &self.free {
+            let s = slot as usize;
+            ensure(s < n && !in_free[s], S, "free-list", || {
+                format!("slot {slot} out of range or listed twice")
+            })?;
+            in_free[s] = true;
+        }
+        for s in 0..n {
+            let should_be_free = !self.live[s] && self.pending_refs[s] == 0;
+            ensure(in_free[s] == should_be_free, S, "free-list", || {
+                format!(
+                    "slot {s}: live={} refs={} but free-listed={}",
+                    self.live[s], self.pending_refs[s], in_free[s]
+                )
+            })?;
+        }
+        Ok(())
     }
 
     /// Clears the store (all slots recycled, capacity kept).

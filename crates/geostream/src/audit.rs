@@ -1,0 +1,78 @@
+//! Deep invariant auditing (the `debug-invariants` feature).
+//!
+//! Every core data structure in the workspace exposes an `audit()` method
+//! behind the `debug-invariants` cargo feature: a full O(n) walk that
+//! re-derives the structure's maintained counters and cross-checks every
+//! internal consistency claim its fast paths rely on. Audits are *not*
+//! `debug_assert!`s — they return a typed [`AuditError`] naming the
+//! structure, the violated invariant, and the observed discrepancy, so a
+//! churn harness can drive millions of operations and report the first
+//! corruption precisely.
+//!
+//! The feature cascades across the workspace: `estimators`, `exactdb`,
+//! `latest-core`, and `latest-bench` all re-export their auditors behind a
+//! feature of the same name that enables this one.
+
+/// A violated data-structure invariant found by an `audit()` walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditError {
+    /// The audited structure (e.g. `"SampleStore"`).
+    pub structure: &'static str,
+    /// Short name of the violated invariant (e.g. `"dead-counter"`).
+    pub invariant: &'static str,
+    /// What the walk observed, with the relevant values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "audit failed: {} / {}: {}",
+            self.structure, self.invariant, self.detail
+        )
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl AuditError {
+    /// Builds an error for `structure` violating `invariant`.
+    pub fn new(structure: &'static str, invariant: &'static str, detail: String) -> Self {
+        AuditError {
+            structure,
+            invariant,
+            detail,
+        }
+    }
+}
+
+/// Returns an error unless `cond` holds; `detail` is only evaluated on
+/// failure, so audits can format rich diagnostics without paying for them
+/// on the (overwhelmingly common) passing path.
+pub fn ensure(
+    cond: bool,
+    structure: &'static str,
+    invariant: &'static str,
+    detail: impl FnOnce() -> String,
+) -> Result<(), AuditError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(AuditError::new(structure, invariant, detail()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_is_lazy_and_typed() {
+        assert_eq!(ensure(true, "S", "inv", || unreachable!()), Ok(()));
+        let e = ensure(false, "SampleStore", "dead-counter", || "3 != 4".into()).unwrap_err();
+        assert_eq!(e.structure, "SampleStore");
+        assert_eq!(e.invariant, "dead-counter");
+        assert!(e.to_string().contains("SampleStore / dead-counter: 3 != 4"));
+    }
+}

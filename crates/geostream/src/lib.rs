@@ -17,6 +17,8 @@
 //! drift reproduce the statistical structure that drives the paper's
 //! experiments, at laptop scale.
 
+#[cfg(feature = "debug-invariants")]
+pub mod audit;
 pub mod geometry;
 pub mod object;
 pub mod query;
@@ -26,6 +28,8 @@ pub mod time;
 pub mod vocab;
 pub mod window;
 
+#[cfg(feature = "debug-invariants")]
+pub use audit::AuditError;
 pub use geometry::{Point, Rect};
 pub use object::{GeoTextObject, ObjectId};
 pub use query::{QueryType, RcDvq};

@@ -68,9 +68,11 @@ where
             (None, None) => return None,
         };
         if take_left {
+            // LINT-ALLOW(no-panic): peek returned Some on this branch, so next yields the same element
             let c = self.left.next().expect("peeked");
             Some(Clocked::new(c.at, Merged::Left(c.item)))
         } else {
+            // LINT-ALLOW(no-panic): peek returned Some on this branch, so next yields the same element
             let c = self.right.next().expect("peeked");
             Some(Clocked::new(c.at, Merged::Right(c.item)))
         }

@@ -168,6 +168,7 @@ impl GaussianMixture {
             }
             u -= w;
         }
+        // LINT-ALLOW(no-panic): the hotspot list is verified non-empty at construction
         self.hotspots.last().expect("non-empty checked")
     }
 }

@@ -43,6 +43,7 @@ impl ZipfKeywords {
             acc += 1.0 / ((rank + 1) as f64).powf(s);
             cdf.push(acc);
         }
+        // LINT-ALLOW(no-panic): the CDF has one entry per vocabulary word and the vocabulary is non-empty
         let total = *cdf.last().expect("non-empty");
         for v in &mut cdf {
             *v /= total;

@@ -53,6 +53,7 @@ impl Vocabulary {
             return id;
         }
         let id = KeywordId(
+            // LINT-ALLOW(no-panic): a vocabulary beyond u32::MAX keyword ids is unsupported by design; fail loudly
             u32::try_from(self.words.len()).expect("vocabulary exceeded u32::MAX entries"),
         );
         self.words.push(word.to_owned());

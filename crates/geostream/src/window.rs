@@ -117,6 +117,7 @@ impl SlidingWindow {
         let horizon = self.horizon();
         while let Some(front) = self.buf.front() {
             if front.timestamp < horizon {
+                // LINT-ALLOW(no-panic): the loop condition checked the front element before this pop
                 evicted.push(self.buf.pop_front().expect("front checked"));
             } else {
                 break;
@@ -139,6 +140,44 @@ impl SlidingWindow {
     pub fn clear(&mut self) {
         self.buf.clear();
         self.now = Timestamp::ZERO;
+    }
+}
+
+#[cfg(feature = "debug-invariants")]
+impl SlidingWindow {
+    /// Full O(n) invariant walk (the `debug-invariants` auditor):
+    ///
+    /// * **fifo-order** — buffered timestamps are non-decreasing front to
+    ///   back (streams arrive in time order and eviction pops the front).
+    /// * **eviction** — no buffered object is older than the horizon
+    ///   `now - T`; [`Self::insert`] and [`Self::advance_to`] must have
+    ///   swept them out.
+    /// * **clock** — `now` is at least the newest buffered timestamp (the
+    ///   clock only moves forward).
+    pub fn audit(&self) -> Result<(), crate::audit::AuditError> {
+        use crate::audit::ensure;
+        const S: &str = "SlidingWindow";
+        let mut prev: Option<Timestamp> = None;
+        for (i, obj) in self.buf.iter().enumerate() {
+            if let Some(p) = prev {
+                ensure(obj.timestamp >= p, S, "fifo-order", || {
+                    format!("object {i} at {} after {}", obj.timestamp, p)
+                })?;
+            }
+            prev = Some(obj.timestamp);
+        }
+        let horizon = self.horizon();
+        if let Some(front) = self.buf.front() {
+            ensure(front.timestamp >= horizon, S, "eviction", || {
+                format!("front at {} precedes horizon {horizon}", front.timestamp)
+            })?;
+        }
+        if let Some(back) = self.buf.back() {
+            ensure(self.now >= back.timestamp, S, "clock", || {
+                format!("now {} behind newest object {}", self.now, back.timestamp)
+            })?;
+        }
+        Ok(())
     }
 }
 

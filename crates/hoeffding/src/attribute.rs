@@ -51,6 +51,7 @@ impl Value {
     pub fn as_cat(self) -> u32 {
         match self {
             Value::Cat(v) => v,
+            // LINT-ALLOW(no-panic): observer/value type mismatch is a caller bug: the tree wires observers by schema
             Value::Num(_) => panic!("expected categorical value, found numeric"),
         }
     }
@@ -60,6 +61,7 @@ impl Value {
     pub fn as_num(self) -> f64 {
         match self {
             Value::Num(v) => v,
+            // LINT-ALLOW(no-panic): observer/value type mismatch is a caller bug: the tree wires observers by schema
             Value::Cat(_) => panic!("expected numeric value, found categorical"),
         }
     }

@@ -53,6 +53,7 @@ impl ClassCounts {
             .enumerate()
             .max_by(|(ai, a), (bi, b)| {
                 a.partial_cmp(b)
+                    // LINT-ALLOW(no-panic): class counts are non-negative integers cast to f64, always finite
                     .expect("counts are finite")
                     // Prefer the *lower* index on ties: max_by keeps the last
                     // maximal element, so order comparisons accordingly.

@@ -75,6 +75,7 @@ fn argmax(weights: &[f64]) -> Option<u32> {
     weights
         .iter()
         .enumerate()
+        // LINT-ALLOW(no-panic): information gains over finite counts are finite, so partial_cmp succeeds
         .max_by(|(ai, a), (bi, b)| a.partial_cmp(b).expect("finite").then(bi.cmp(ai)))
         .map(|(i, _)| i as u32)
 }
@@ -231,6 +232,7 @@ impl HoeffdingTree {
     pub fn train(&mut self, instance: &Instance, class: u32) {
         self.schema
             .validate(instance)
+            // LINT-ALLOW(no-panic): an instance not matching the fixed schema is a programmer error; documented panic
             .unwrap_or_else(|e| panic!("invalid instance: {e}"));
         assert!(
             class < self.schema.num_classes(),
@@ -282,6 +284,7 @@ impl HoeffdingTree {
         self.predict_weights(instance)
             .into_iter()
             .enumerate()
+            // LINT-ALLOW(no-panic): information gains over finite counts are finite, so partial_cmp succeeds
             .max_by(|(ai, a), (bi, b)| a.partial_cmp(b).expect("finite").then(bi.cmp(ai)))
             .map(|(i, _)| i as u32)
             .unwrap_or(0)
@@ -293,6 +296,7 @@ impl HoeffdingTree {
     pub fn predict_weights(&self, instance: &Instance) -> Vec<f64> {
         self.schema
             .validate(instance)
+            // LINT-ALLOW(no-panic): an instance not matching the fixed schema is a programmer error; documented panic
             .unwrap_or_else(|e| panic!("invalid instance: {e}"));
         let leaf_id = self.sort_to_leaf_ref(instance);
         let Node::Leaf(leaf) = &self.nodes[leaf_id] else {
@@ -482,6 +486,7 @@ impl HoeffdingTree {
             return;
         }
         let mut sorted = candidates;
+        // LINT-ALLOW(no-panic): gains are computed from finite counts, so partial_cmp succeeds
         sorted.sort_by(|a, b| b.gain.partial_cmp(&a.gain).expect("gains are finite"));
         let best_gain = sorted[0].gain;
         let second_gain = if sorted.len() > 1 {

@@ -18,14 +18,43 @@ pub use spec::{Mix, WorkloadGenerator, WorkloadSpec};
 
 use geostream::synth::DatasetSpec;
 
+/// A workload-family lookup failed: the requested number is outside the
+/// set of workloads the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadError {
+    /// The workload family name (`"TwQW"`, `"EbRQW"`, `"CiQW"`).
+    pub family: &'static str,
+    /// The requested workload number.
+    pub n: u8,
+    /// The largest valid number for the family (all start at 1).
+    pub max: u8,
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{} is not one of the evaluated workloads ({}1..={})",
+            self.family, self.n, self.family, self.max
+        )
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// The Twitter workloads TwQW1–TwQW6 (the paper describes six of its nine;
-/// we reproduce the six it evaluates).
-///
-/// # Panics
-/// Panics for numbers outside `1..=6`.
-pub fn twqw(n: u8) -> WorkloadSpec {
+/// we reproduce the six it evaluates). Fallible lookup; [`twqw`] is the
+/// panicking convenience.
+pub fn try_twqw(n: u8) -> Result<WorkloadSpec, WorkloadError> {
+    if !(1..=6).contains(&n) {
+        return Err(WorkloadError {
+            family: "TwQW",
+            n,
+            max: 6,
+        });
+    }
     let base = DatasetSpec::twitter();
-    match n {
+    Ok(match n {
         // One-third each, with the dominant type rotating in blocks —
         // "types of queries are heavily changing over time" (§VI-B).
         1 => WorkloadSpec::new("TwQW1", base, 100_000)
@@ -61,17 +90,32 @@ pub fn twqw(n: u8) -> WorkloadSpec {
                 Mix::hybrid_only(),
             ])
             .with_keyword_counts(1, 3),
-        _ => panic!("TwQW{n} is not one of the evaluated workloads (1..=6)"),
-    }
+        _ => unreachable!("range-checked above"),
+    })
+}
+
+/// Panicking convenience around [`try_twqw`].
+///
+/// # Panics
+/// Panics for numbers outside `1..=6`.
+pub fn twqw(n: u8) -> WorkloadSpec {
+    // LINT-ALLOW(no-panic): documented convenience wrapper; try_twqw is the
+    // fallible path for workload numbers taken from user input.
+    try_twqw(n).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The six eBird request workloads (§VI-A: 40K real dataset-search
 /// requests combined with sampled keywords into "six workloads of
 /// different query type distributions"). The paper's figures use EbRQW1.
-///
-/// # Panics
-/// Panics for numbers outside `1..=6`.
-pub fn ebrqw(n: u8) -> WorkloadSpec {
+/// Fallible lookup; [`ebrqw`] is the panicking convenience.
+pub fn try_ebrqw(n: u8) -> Result<WorkloadSpec, WorkloadError> {
+    if !(1..=6).contains(&n) {
+        return Err(WorkloadError {
+            family: "EbRQW",
+            n,
+            max: 6,
+        });
+    }
     let base = WorkloadSpec::new(
         match n {
             1 => "EbRQW1",
@@ -80,7 +124,7 @@ pub fn ebrqw(n: u8) -> WorkloadSpec {
             4 => "EbRQW4",
             5 => "EbRQW5",
             6 => "EbRQW6",
-            _ => panic!("EbRQW{n} is not one of the six eBird workloads"),
+            _ => unreachable!("range-checked above"),
         },
         DatasetSpec::ebird(),
         40_000,
@@ -88,7 +132,7 @@ pub fn ebrqw(n: u8) -> WorkloadSpec {
     // Dataset-search requests span wide ranges compared to the tight
     // observation clusters.
     .with_range_scale(2.0);
-    match n {
+    Ok(match n {
         // 100% spatial — the workload the paper evaluates in its figures.
         1 => base.with_blocks(vec![Mix::spatial_only()]),
         // 100% keyword (species / protocol searches).
@@ -113,8 +157,18 @@ pub fn ebrqw(n: u8) -> WorkloadSpec {
                 Mix::new(0.0, 0.0, 1.0),
             ])
             .with_keyword_counts(1, 2),
-        _ => unreachable!("validated above"),
-    }
+        _ => unreachable!("range-checked above"),
+    })
+}
+
+/// Panicking convenience around [`try_ebrqw`].
+///
+/// # Panics
+/// Panics for numbers outside `1..=6`.
+pub fn ebrqw(n: u8) -> WorkloadSpec {
+    // LINT-ALLOW(no-panic): documented convenience wrapper; try_ebrqw is
+    // the fallible path for workload numbers taken from user input.
+    try_ebrqw(n).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// `EbRQW1` — the eBird workload the paper's figures use.
@@ -124,21 +178,26 @@ pub fn ebrqw1() -> WorkloadSpec {
 
 /// The three CheckIn workloads (§VI-A: "three workloads of different
 /// distributions of query types"). The paper's figures use CiQW1.
-///
-/// # Panics
-/// Panics for numbers outside `1..=3`.
-pub fn ciqw(n: u8) -> WorkloadSpec {
+/// Fallible lookup; [`ciqw`] is the panicking convenience.
+pub fn try_ciqw(n: u8) -> Result<WorkloadSpec, WorkloadError> {
+    if !(1..=3).contains(&n) {
+        return Err(WorkloadError {
+            family: "CiQW",
+            n,
+            max: 3,
+        });
+    }
     let base = WorkloadSpec::new(
         match n {
             1 => "CiQW1",
             2 => "CiQW2",
             3 => "CiQW3",
-            _ => panic!("CiQW{n} is not one of the three CheckIn workloads"),
+            _ => unreachable!("range-checked above"),
         },
         DatasetSpec::checkin(),
         100_000,
     );
-    match n {
+    Ok(match n {
         // 100K single-keyword queries — the paper's evaluated workload.
         1 => base
             .with_blocks(vec![Mix::keyword_only()])
@@ -147,8 +206,18 @@ pub fn ciqw(n: u8) -> WorkloadSpec {
         2 => base.with_blocks(vec![Mix::spatial_only()]),
         // Uniform thirds.
         3 => base.with_keyword_counts(1, 2),
-        _ => unreachable!("validated above"),
-    }
+        _ => unreachable!("range-checked above"),
+    })
+}
+
+/// Panicking convenience around [`try_ciqw`].
+///
+/// # Panics
+/// Panics for numbers outside `1..=3`.
+pub fn ciqw(n: u8) -> WorkloadSpec {
+    // LINT-ALLOW(no-panic): documented convenience wrapper; try_ciqw is
+    // the fallible path for workload numbers taken from user input.
+    try_ciqw(n).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// `CiQW1` — the CheckIn workload the paper's figures use.
@@ -160,6 +229,31 @@ pub fn ciqw1() -> WorkloadSpec {
 mod tests {
     use super::*;
     use geostream::QueryType;
+
+    #[test]
+    fn out_of_range_workload_numbers_are_typed_errors() {
+        assert_eq!(
+            try_twqw(0).unwrap_err(),
+            WorkloadError {
+                family: "TwQW",
+                n: 0,
+                max: 6
+            }
+        );
+        assert!(try_twqw(7).is_err());
+        assert!(try_ebrqw(7).is_err());
+        assert!(try_ciqw(4).is_err());
+        let msg = try_ciqw(9).unwrap_err().to_string();
+        assert!(msg.contains("CiQW9"), "{msg}");
+        assert!(msg.contains("CiQW1..=3"), "{msg}");
+        for n in 1..=6 {
+            assert!(try_twqw(n).is_ok());
+            assert!(try_ebrqw(n).is_ok());
+        }
+        for n in 1..=3 {
+            assert!(try_ciqw(n).is_ok());
+        }
+    }
 
     fn type_histogram(spec: &WorkloadSpec, n: usize) -> [usize; 3] {
         let mut counts = [0usize; 3];
@@ -352,7 +446,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "three CheckIn workloads")]
+    #[should_panic(expected = "CiQW5 is not one of the evaluated workloads")]
     fn unknown_checkin_workload_panics() {
         let _ = ciqw(5);
     }

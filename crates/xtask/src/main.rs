@@ -1,0 +1,85 @@
+//! `cargo xtask` — repo-local developer tooling.
+//!
+//! The only subcommand today is `lint`, a hand-rolled static-analysis pass
+//! over the workspace's library crates. It has zero dependencies on purpose:
+//! it must build and run offline, instantly, in every CI job.
+//!
+//! ```text
+//! cargo xtask lint              # lint the workspace this binary lives in
+//! cargo xtask lint --root DIR   # lint another tree (used by the self-tests)
+//! ```
+//!
+//! Exit status is 0 when the tree is clean under the checked-in `lint.toml`
+//! budget and 1 when any diagnostic fires. Diagnostics are `file:line:
+//! [rule] message` so editors and CI annotations can jump to them.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod config;
+mod lint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("xtask: error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dispatch the subcommand. Returns `Ok(true)` when the run succeeded and
+/// the tree is clean, `Ok(false)` when diagnostics fired.
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return Err("missing subcommand".into());
+    };
+    match cmd.as_str() {
+        "lint" => {
+            let root = parse_root(&args[1..])?;
+            let report = lint::lint_workspace(&root)?;
+            lint::print_report(&report);
+            Ok(report.is_clean())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask <command>\n\n\
+commands:\n  \
+lint [--root DIR]   run the repo lint pass (rules + budget in lint.toml)\n  \
+help                show this message";
+
+/// Parse `--root DIR` (defaults to the workspace that built this binary).
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    let mut it = args.iter();
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return Err("--root requires a directory argument".into()),
+            },
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    match root {
+        Some(r) => Ok(r),
+        // CARGO_MANIFEST_DIR is crates/xtask; the workspace root is two up.
+        None => {
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            match manifest.parent().and_then(|p| p.parent()) {
+                Some(ws) => Ok(ws.to_path_buf()),
+                None => Err("cannot locate workspace root from CARGO_MANIFEST_DIR".into()),
+            }
+        }
+    }
+}

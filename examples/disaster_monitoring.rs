@@ -57,7 +57,7 @@ fn main() {
         } else {
             RcDvq::spatial(affected)
         };
-        latest.query(&q, latest.now());
+        let _ = latest.query(&q, latest.now());
         n += 1;
     }
 

@@ -30,7 +30,8 @@ fn main() {
         .expect("demo parameters are in range");
 
     println!("spawning ingestion pipeline…");
-    let pipeline = StreamPipeline::spawn(config, dataset.generator(), 8_192);
+    let pipeline =
+        StreamPipeline::spawn(config, dataset.generator(), 8_192).expect("pipeline threads spawn");
     pipeline.wait_for_phase(PhaseTag::PreTraining);
     println!(
         "window filled: {} live objects",
@@ -55,7 +56,7 @@ fn main() {
             1 => RcDvq::keyword(vec![KeywordId(i % 40)]),
             _ => RcDvq::hybrid(area, vec![KeywordId(i % 40)]),
         };
-        handle.query(&q).expect("pipeline is live");
+        let _ = handle.query(&q).expect("pipeline is live");
         i += 1;
     }
     println!("pre-training finished after {i} queries; serving clients…\n");

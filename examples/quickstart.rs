@@ -58,7 +58,7 @@ fn main() {
             1 => RcDvq::keyword(vec![KeywordId(qn % 50)]),
             _ => RcDvq::hybrid(downtown, vec![KeywordId(qn % 50)]),
         };
-        latest.query(&query, latest.now());
+        let _ = latest.query(&query, latest.now());
         qn += 1;
     }
     println!(

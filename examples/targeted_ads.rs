@@ -67,7 +67,7 @@ fn main() {
         let (_, x, y) = metros[i % metros.len()];
         let kw = keyword_model.sample_keywords(&mut rng, latest.now(), 1)[0];
         let area = Rect::centered_clamped(Point::new(x, y), 1.5, 1.2, &dataset.domain);
-        latest.query(&RcDvq::hybrid(area, vec![kw]), latest.now());
+        let _ = latest.query(&RcDvq::hybrid(area, vec![kw]), latest.now());
         i += 1;
     }
 

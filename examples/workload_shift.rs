@@ -60,7 +60,7 @@ fn main() {
         } else {
             RcDvq::keyword(vec![KeywordId(rng.gen_range(0..40))])
         };
-        latest.query(&q, latest.now());
+        let _ = latest.query(&q, latest.now());
         n += 1;
     }
 

@@ -1,0 +1,180 @@
+//! Cross-crate churn harness for the deep invariant auditors
+//! (`--features debug-invariants`).
+//!
+//! One deterministic stream drives every stateful structure in the stack
+//! at once — the sliding window, the full six-estimator pool, and an
+//! exact executor per spatial backend — and the auditors sweep all of
+//! them at fixed intervals. The stream is shaped to hit the accounting
+//! edge cases the auditors exist for: swap-remove slot recycling in the
+//! sample stores, lazy posting tombstones crossing the 25% compaction
+//! threshold mid-removal, and estimator populations drifting past their
+//! sample capacities.
+//!
+//! The harness asserts nothing about estimate quality; it asserts the
+//! *bookkeeping* stays exactly consistent under sustained churn.
+
+use estimators::store::SampleStore;
+use estimators::EstimatorConfig;
+use exactdb::{ExactExecutor, SpatialIndexKind};
+use geostream::{
+    Duration, GeoTextObject, KeywordId, ObjectId, Point, RcDvq, Rect, SlidingWindow, Timestamp,
+};
+use latest_core::EstimatorPool;
+
+const DOMAIN: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 100.0,
+    max_y: 100.0,
+};
+
+/// Deterministic LCG (no external RNG, identical on every run).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1);
+    *state >> 11
+}
+
+fn make_obj(id: u64, r: u64, t: Timestamp) -> GeoTextObject {
+    // Few distinct keywords (16) over thousands of live objects: posting
+    // lists grow long and shared, so eviction churn repeatedly trips the
+    // 25% tombstone compaction threshold.
+    let n_kws = r % 4;
+    let kws: Vec<KeywordId> = (0..n_kws)
+        .map(|k| KeywordId(((r >> 9) + k) as u32 % 16))
+        .collect();
+    GeoTextObject::new(
+        ObjectId(id),
+        Point::new((r % 1_000) as f64 / 10.0, ((r >> 17) % 1_000) as f64 / 10.0),
+        kws,
+        t,
+    )
+}
+
+fn probes(r: u64) -> RcDvq {
+    let x = (r % 60) as f64;
+    let y = ((r >> 13) % 60) as f64;
+    let rect = Rect::new(x, y, x + 25.0, y + 30.0);
+    match r % 3 {
+        0 => RcDvq::spatial(rect),
+        1 => RcDvq::keyword(vec![KeywordId(r as u32 % 16)]),
+        _ => RcDvq::hybrid(rect, vec![KeywordId((r >> 5) as u32 % 16)]),
+    }
+}
+
+/// 12k stream events churn the window, the full estimator pool, and all
+/// three exact backends together; every structure must stay audit-clean
+/// at every sweep, and the cross-structure populations must agree.
+#[test]
+fn full_stack_stays_audit_clean_under_churn() {
+    // Small reservoirs: the samplers leave their fill phase early, so
+    // steady-state replacement (swap-remove recycling) dominates.
+    let config = EstimatorConfig {
+        domain: DOMAIN,
+        reservoir_capacity: 256,
+        ..EstimatorConfig::default()
+    };
+    let mut window = SlidingWindow::new(Duration::from_millis(2_000));
+    let mut pool = EstimatorPool::full(&config, 2);
+    let mut execs: Vec<ExactExecutor> = [
+        SpatialIndexKind::Grid,
+        SpatialIndexKind::Quadtree,
+        SpatialIndexKind::RTree,
+    ]
+    .into_iter()
+    .map(|k| ExactExecutor::new(DOMAIN, k))
+    .collect();
+
+    let mut rng = 0x1a7e57u64;
+    let mut clock = Timestamp::ZERO;
+    let mut evicted = Vec::new();
+    for i in 0..12_000u64 {
+        let r = lcg(&mut rng);
+        clock = clock.after(Duration::from_millis(r % 3));
+        let obj = make_obj(i, r, clock);
+        evicted.clear();
+        window.insert(obj.clone(), &mut evicted);
+        for e in &mut execs {
+            e.insert(&obj);
+            for gone in &evicted {
+                assert!(
+                    e.remove_by_oid(gone.oid),
+                    "evicted {:?} not indexed",
+                    gone.oid
+                );
+            }
+        }
+        let arrived = [obj];
+        pool.apply_batch(&arrived, &evicted);
+
+        // Periodic measurement rounds keep the query-feedback paths
+        // (observe_query, path-mix counters) inside the churn loop.
+        if i % 101 == 0 {
+            let q = probes(r);
+            let truth = execs[0].execute(&q);
+            for e in &execs[1..] {
+                assert_eq!(e.execute(&q), truth, "backends disagree on {q:?}");
+            }
+            pool.measure(&q, truth);
+        }
+
+        if i % 500 == 0 || i == 11_999 {
+            window.audit().unwrap_or_else(|e| panic!("step {i}: {e}"));
+            pool.audit().unwrap_or_else(|e| panic!("step {i}: {e}"));
+            for e in &execs {
+                e.audit()
+                    .unwrap_or_else(|err| panic!("step {i} {:?}: {err}", e.kind()));
+                assert_eq!(
+                    e.len(),
+                    window.len(),
+                    "step {i}: {:?} population drifted from the window",
+                    e.kind()
+                );
+            }
+        }
+    }
+    assert!(
+        execs.iter().all(|e| e.compactions() > 0),
+        "stream never tripped posting compaction — churn too weak to audit it"
+    );
+}
+
+/// Targeted slot-recycling torture for the shared [`SampleStore`]: the
+/// store oscillates around a small size so nearly every slot is a
+/// swap-remove recycled one, keywords come from a 16-word vocabulary so
+/// the shared posting lists cross the compaction threshold many times,
+/// and removals and in-place replacements interleave mid-stream so
+/// compaction fires *during* the remove path (the `dead-counter` /
+/// `posting-coverage` edge), not only between batches.
+#[test]
+fn sample_store_recycling_and_midstream_compaction_stay_audit_clean() {
+    let mut s = SampleStore::new(true);
+    let mut rng = 0xdecafu64;
+    let mut live: Vec<ObjectId> = Vec::new();
+    for i in 0..6_000u64 {
+        let r = lcg(&mut rng);
+        // Heavily removal-biased once warm: the store oscillates around a
+        // small size, so nearly every slot is a recycled one.
+        if live.len() > 32 && r % 5 < 2 {
+            let victim = live.swap_remove((r % live.len() as u64) as usize);
+            assert!(s.remove(victim).is_some());
+        } else if !live.is_empty() && r % 7 == 0 {
+            // In-place replacement: the old object's postings die while
+            // the slot stays occupied by the new one.
+            let slot = (r % s.len() as u64) as u32;
+            let old = s.oids()[slot as usize];
+            s.replace(slot, &make_obj(1_000_000 + i, r | 1, Timestamp(i)));
+            let at = live.iter().position(|&o| o == old).unwrap();
+            live[at] = ObjectId(1_000_000 + i);
+        } else {
+            s.push(&make_obj(i, r | 1, Timestamp(i)));
+            live.push(ObjectId(i));
+        }
+        if i % 199 == 0 {
+            s.audit().unwrap_or_else(|e| panic!("step {i}: {e}"));
+        }
+    }
+    s.audit().expect("final audit");
+    assert_eq!(s.len(), live.len());
+}

@@ -85,7 +85,7 @@ fn keyword_flood_forces_histogram_abandonment() {
             latest.ingest(gen.next_object());
         }
         let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..30))]);
-        latest.query(&q, gen.clock());
+        let _ = latest.query(&q, gen.clock());
         if latest.phase() == PhaseTag::Incremental && latest.active_kind() != EstimatorKind::H4096 {
             break;
         }
@@ -148,7 +148,7 @@ fn log_is_complete_and_ordered() {
             latest.ingest(gen.next_object());
         }
         let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..100))]);
-        latest.query(&q, gen.clock());
+        let _ = latest.query(&q, gen.clock());
     }
     let log = latest.log();
     assert_eq!(log.queries.len(), total);
