@@ -508,6 +508,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation",
     "exactdb-bench",
     "estimator-bench",
+    "obsv-bench",
 ];
 
 /// Runs one experiment by id.
@@ -530,6 +531,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<String> {
         "ablation" => ablation(scale),
         "exactdb-bench" => crate::exact_bench::run(scale).render_text(),
         "estimator-bench" => crate::estimator_bench::run(scale).render_text(),
+        "obsv-bench" => crate::obsv_bench::run(scale).render_text(),
         _ => return None,
     })
 }
@@ -556,7 +558,7 @@ mod tests {
     #[test]
     fn run_by_name_dispatch() {
         assert!(run_by_name("unknown", Scale::default()).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 17);
+        assert_eq!(ALL_EXPERIMENTS.len(), 18);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod driver;
 pub mod estimator_bench;
 pub mod exact_bench;
 pub mod experiments;
+pub mod obsv_bench;
 pub mod report;
 
 pub use driver::{run_workload, run_workload_with_default, DriverConfig, RunResult};

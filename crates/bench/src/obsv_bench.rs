@@ -1,0 +1,171 @@
+//! Observability benchmark: replays a small switching workload end to end
+//! and reports the run's metrics snapshot — counters, gauges, latency
+//! histograms, and the lifecycle event stream — as both a human-readable
+//! digest and machine-readable JSON (`--bench-json` →
+//! `BENCH_observability.json`), so CI can validate the snapshot schema
+//! and the docs can show a real scrape.
+
+use crate::driver::{run_workload, DriverConfig};
+use crate::experiments::Scale;
+use latest_core::MetricsSnapshot;
+use workloads::twqw;
+
+/// The full report: workload identity, replay geometry, and the
+/// end-of-run [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct ObsvBenchReport {
+    pub workload: &'static str,
+    pub incremental_queries: usize,
+    pub pretrain_queries: usize,
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Runs the measurement. `scale` stretches the query counts; the floor
+/// keeps even `--scale 0.01` runs long enough to reach the incremental
+/// phase and exercise every registry surface.
+pub fn run(scale: Scale) -> ObsvBenchReport {
+    let incremental = ((600.0 * scale.0) as usize).max(120);
+    let pretrain = (incremental / 6).max(60);
+    let driver = DriverConfig {
+        incremental_queries: incremental,
+        pretrain_queries: pretrain,
+        ..DriverConfig::default()
+    };
+    let spec = twqw(1).with_total(incremental + pretrain);
+    let result = run_workload(&spec, &driver);
+    ObsvBenchReport {
+        workload: result.workload,
+        incremental_queries: incremental,
+        pretrain_queries: pretrain,
+        snapshot: result.metrics,
+    }
+}
+
+impl ObsvBenchReport {
+    /// Human-readable digest of the snapshot (the full detail is in the
+    /// JSON form).
+    pub fn render_text(&self) -> String {
+        let s = &self.snapshot;
+        let mut out = String::new();
+        out.push_str("== Observability bench: end-of-run metrics snapshot ==\n");
+        out.push_str(&format!(
+            "workload {} ({} pretrain + {} incremental queries)\n",
+            self.workload, self.pretrain_queries, self.incremental_queries
+        ));
+        out.push_str(&format!(
+            "phase {}  queries total {} (warmup {}, pretraining {}, incremental {})\n",
+            s.phase.name(),
+            s.queries_total,
+            s.queries_by_phase[0],
+            s.queries_by_phase[1],
+            s.queries_by_phase[2]
+        ));
+        out.push_str(&format!(
+            "window: occupancy {}  ingested {}  evicted {}\n",
+            s.window.occupancy, s.window.ingested, s.window.evicted
+        ));
+        out.push_str(&format!(
+            "adaptor: switches {}  prefills {} started / {} discarded  retrainings {}\n",
+            s.adaptor.switches,
+            s.adaptor.prefill_starts,
+            s.adaptor.prefill_discards,
+            s.adaptor.tree_retrainings
+        ));
+        out.push_str(&format!(
+            "pool: {} rounds, {} us busy\n",
+            s.pool.rounds, s.pool.busy_us
+        ));
+        out.push_str(&format!(
+            "executor path mix: spatial {} / inverted {}\n",
+            s.executor.spatial, s.executor.inverted
+        ));
+        for e in &s.estimators {
+            out.push_str(&format!(
+                "estimator {:>5} [{}]: {} estimates (mean {:.1} us), {} bytes\n",
+                e.kind.name(),
+                e.role.name(),
+                e.latency_us.count,
+                e.latency_us.mean(),
+                e.memory_bytes
+            ));
+        }
+        out.push_str(&format!(
+            "events retained {} (dropped {})\n",
+            s.events.len(),
+            s.events_dropped
+        ));
+        out
+    }
+
+    /// JSON form: run metadata wrapping [`MetricsSnapshot::to_json`].
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("\"workload\": \"{}\",\n", self.workload));
+        s.push_str(&format!(
+            "\"pretrain_queries\": {},\n",
+            self.pretrain_queries
+        ));
+        s.push_str(&format!(
+            "\"incremental_queries\": {},\n",
+            self.incremental_queries
+        ));
+        s.push_str(&format!("\"snapshot\": {}\n", self.snapshot.to_json()));
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latest_core::PhaseTag;
+
+    #[test]
+    fn report_covers_every_subsystem() {
+        let report = run(Scale(0.05)); // query floors kick in
+        let s = &report.snapshot;
+        assert_eq!(s.phase, PhaseTag::Incremental);
+        assert_eq!(s.queries_total, 180); // 60 pretrain + 120 incremental
+        assert!(s.window.ingested > 0);
+        assert!(s.window.occupancy > 0);
+        assert!(s.pool.rounds > 0, "pre-training must drive the pool");
+        assert!(
+            s.executor.spatial + s.executor.inverted > 0,
+            "exact executor must have routed queries"
+        );
+        // The active estimator answered incremental queries; with shadow
+        // metrics on, every kind has latency observations.
+        for e in &s.estimators {
+            assert!(
+                e.latency_us.count > 0,
+                "estimator {} has no latency samples",
+                e.kind.name()
+            );
+        }
+        let phases: Vec<PhaseTag> = s.phase_events();
+        assert_eq!(
+            phases,
+            [
+                PhaseTag::WarmUp,
+                PhaseTag::PreTraining,
+                PhaseTag::Incremental
+            ]
+        );
+    }
+
+    #[test]
+    fn json_is_balanced_and_text_renders() {
+        let report = run(Scale(0.05));
+        let json = report.to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in observability JSON"
+        );
+        assert!(json.contains("\"snapshot\""));
+        assert!(json.contains("\"estimators\""));
+        assert!(json.contains("\"events\""));
+        let text = report.render_text();
+        assert!(text.contains("executor path mix"));
+    }
+}

@@ -90,6 +90,12 @@ impl Recommender {
     ///
     /// The tree's scores are normalized to a distribution so young trees
     /// (all mass on one class) and mature trees compare on the same scale.
+    /// Normalization runs over the **non-active** classes only: the active
+    /// estimator is never a candidate, so mass the tree puts on it must not
+    /// dilute the scores of the classes actually competing — otherwise a
+    /// tree that (correctly) favors the active estimator would flatten the
+    /// candidates' tree votes toward zero and hand the decision to reward
+    /// noise.
     pub fn recommend(
         &self,
         tree: &HoeffdingTree,
@@ -97,7 +103,12 @@ impl Recommender {
         active: EstimatorKind,
     ) -> EstimatorKind {
         let weights = tree.predict_weights(&profile.instance(active));
-        let total: f64 = weights.iter().sum();
+        let total: f64 = weights
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != active.index() as usize)
+            .map(|(_, w)| w)
+            .sum();
         let mut best = None;
         let mut best_score = f64::NEG_INFINITY;
         for kind in EstimatorKind::ALL {
@@ -163,17 +174,31 @@ impl Recommender {
         active: EstimatorKind,
         use_tree: bool,
     ) -> EstimatorKind {
-        let total: f64 = weights.iter().sum();
-        if total <= 0.0 {
-            return self.best_by_reward(QueryType::Hybrid, Some(active));
-        }
-        // Per-type tree votes, computed once.
+        // With no recorded query-type mix there is no reason to privilege
+        // any single type: fall back to a uniform mix over all three query
+        // types, so candidates are judged on their all-round record rather
+        // than their Hybrid column alone.
+        let uniform = [1.0f64; 3];
+        let observed: f64 = weights.iter().sum();
+        let (weights, total) = if observed > 0.0 {
+            (weights, observed)
+        } else {
+            (&uniform, 3.0)
+        };
+        // Per-type tree votes, computed once. Like `recommend`, each vote
+        // is normalized over the non-active classes only, so tree mass on
+        // the (ineligible) active estimator cannot dilute the candidates.
         let mut tree_scores = [[0.0f64; 6]; 3];
         if use_tree {
             for (t, profile) in profiles.iter().enumerate() {
                 let Some(p) = profile else { continue };
                 let w = tree.predict_weights(&p.instance(active));
-                let sum: f64 = w.iter().sum();
+                let sum: f64 = w
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != active.index() as usize)
+                    .map(|(_, x)| x)
+                    .sum();
                 if sum > 0.0 {
                     for k in 0..6 {
                         tree_scores[t][k] = w[k] / sum;
@@ -297,6 +322,69 @@ mod tests {
         // For keyword queries the tree prefers RSH.
         let kw_rec = r.recommend(&tree, &profile(QueryType::Keyword), EstimatorKind::Aasp);
         assert_eq!(kw_rec, EstimatorKind::Rsh);
+    }
+
+    #[test]
+    fn tree_mass_on_active_does_not_dilute_candidates() {
+        // The tree strongly favors the ACTIVE estimator (900 of 1000
+        // labels), with the remaining mass split 60:40 between H4096 and
+        // RSL; rewards are near-flat with RSL 0.02 ahead. Normalizing the
+        // tree vote over all six classes shrinks both candidates' votes
+        // ~10x and lets the reward noise flip the decision to RSL;
+        // normalizing over the non-active classes keeps the tree's 60:40
+        // preference decisive, so H4096 must win.
+        let mut r = Recommender::new();
+        for k in EstimatorKind::ALL {
+            let reward = if k == EstimatorKind::Rsl { 0.52 } else { 0.5 };
+            for _ in 0..80 {
+                r.observe(QueryType::Spatial, k, reward);
+            }
+        }
+        // A huge grace period keeps the root a leaf, so predict_weights
+        // returns the raw class counts.
+        let config = HoeffdingTreeConfig {
+            grace_period: 1_000_000,
+            ..HoeffdingTreeConfig::default()
+        };
+        let mut tree = HoeffdingTree::new(model_schema(), config);
+        let inst = profile(QueryType::Spatial).instance(EstimatorKind::Spn);
+        for _ in 0..900 {
+            tree.train(&inst, EstimatorKind::Spn.index());
+        }
+        for _ in 0..60 {
+            tree.train(&inst, EstimatorKind::H4096.index());
+        }
+        for _ in 0..40 {
+            tree.train(&inst, EstimatorKind::Rsl.index());
+        }
+        let rec = r.recommend(&tree, &profile(QueryType::Spatial), EstimatorKind::Spn);
+        assert_eq!(rec, EstimatorKind::H4096);
+    }
+
+    #[test]
+    fn degenerate_mix_falls_back_to_uniform_expectation() {
+        // No query-type mix has been recorded yet. AASP is the all-round
+        // best (strong on spatial AND keyword), while FFN is merely the
+        // Hybrid specialist. A fallback hardcoded to the Hybrid column
+        // would pick FFN; the uniform-mix expectation must pick AASP.
+        let mut r = Recommender::new();
+        for _ in 0..80 {
+            r.observe(QueryType::Spatial, EstimatorKind::Aasp, 0.9);
+            r.observe(QueryType::Keyword, EstimatorKind::Aasp, 0.9);
+            r.observe(QueryType::Hybrid, EstimatorKind::Aasp, 0.5);
+            r.observe(QueryType::Spatial, EstimatorKind::Ffn, 0.45);
+            r.observe(QueryType::Keyword, EstimatorKind::Ffn, 0.5);
+            r.observe(QueryType::Hybrid, EstimatorKind::Ffn, 0.8);
+        }
+        let tree = HoeffdingTree::new(model_schema(), HoeffdingTreeConfig::default());
+        let rec = r.recommend_with(
+            &tree,
+            &[None, None, None],
+            &[0.0; 3],
+            EstimatorKind::H4096,
+            true,
+        );
+        assert_eq!(rec, EstimatorKind::Aasp);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 
 use crate::error::LatestError;
 use crate::log::PhaseTag;
+use crate::obsv::MetricsSnapshot;
 use crate::system::{Latest, LatestConfig, QueryOutcome};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use estimators::EstimatorKind;
@@ -166,6 +167,12 @@ impl SharedLatest {
         self.inner.lock().log().switches.len()
     }
 
+    /// A point-in-time copy of the run-wide observability metrics
+    /// ([`Latest::metrics_snapshot`]), taken under one brief lock hold.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().metrics_snapshot()
+    }
+
     /// Runs `f` against the underlying instance (e.g. to clone the log).
     pub fn with<R>(&self, f: impl FnOnce(&Latest) -> R) -> R {
         f(&self.inner.lock())
@@ -275,6 +282,21 @@ impl StreamPipeline {
         }
     }
 
+    /// Spawns a periodic metrics scraper against this pipeline: every
+    /// `every`, a [`MetricsSnapshot`] is taken under one brief lock hold
+    /// and offered on the scraper's bounded channel. A slow consumer never
+    /// backpressures the scrape loop — when the channel is full the
+    /// snapshot is dropped (the next one supersedes it anyway). The
+    /// scraper stops on [`SnapshotScraper::stop`], on drop, or on its own
+    /// once the pipeline shuts down.
+    pub fn spawn_scraper(
+        &self,
+        every: std::time::Duration,
+        capacity: usize,
+    ) -> Result<SnapshotScraper, LatestError> {
+        SnapshotScraper::spawn(self.handle(), every, capacity)
+    }
+
     /// Stops both threads and returns the number of objects ingested.
     /// Every handle cloned from this pipeline starts failing with
     /// [`LatestError::PipelineShutDown`].
@@ -301,6 +323,91 @@ impl StreamPipeline {
 impl Drop for StreamPipeline {
     fn drop(&mut self) {
         self.stop_threads();
+    }
+}
+
+/// A background thread that periodically scrapes [`MetricsSnapshot`]s from
+/// a [`SharedLatest`] handle onto a bounded channel
+/// ([`StreamPipeline::spawn_scraper`]).
+pub struct SnapshotScraper {
+    snapshots: Receiver<MetricsSnapshot>,
+    stop: Sender<()>,
+    thread: Option<JoinHandle<u64>>,
+}
+
+impl SnapshotScraper {
+    fn spawn(
+        handle: SharedLatest,
+        every: std::time::Duration,
+        capacity: usize,
+    ) -> Result<Self, LatestError> {
+        let (snap_tx, snap_rx) = bounded::<MetricsSnapshot>(capacity.max(1));
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let thread = std::thread::Builder::new()
+            .name("latest-scraper".into())
+            .spawn(move || {
+                let mut taken = 0u64;
+                loop {
+                    match stop_rx.recv_timeout(every) {
+                        // Stop signal or scraper handle dropped: done.
+                        Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                            return taken
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    }
+                    if !handle.is_open() {
+                        return taken;
+                    }
+                    let snap = handle.metrics_snapshot();
+                    taken += 1;
+                    // A full channel drops the snapshot instead of blocking:
+                    // the scrape cadence must never be hostage to a slow
+                    // consumer, and the next snapshot supersedes this one.
+                    let _ = snap_tx.try_send(snap);
+                }
+            })
+            .map_err(|e| LatestError::Spawn {
+                thread: "latest-scraper",
+                reason: e.to_string(),
+            })?;
+        Ok(SnapshotScraper {
+            snapshots: snap_rx,
+            stop: stop_tx,
+            thread: Some(thread),
+        })
+    }
+
+    /// The channel the scraped snapshots arrive on.
+    pub fn snapshots(&self) -> &Receiver<MetricsSnapshot> {
+        &self.snapshots
+    }
+
+    /// The latest snapshot currently queued, discarding older ones.
+    pub fn latest(&self) -> Option<MetricsSnapshot> {
+        let mut last = None;
+        while let Ok(snap) = self.snapshots.try_recv() {
+            last = Some(snap);
+        }
+        last
+    }
+
+    /// Stops the scrape thread and returns how many snapshots it took.
+    pub fn stop(mut self) -> u64 {
+        self.stop_thread()
+    }
+
+    fn stop_thread(&mut self) -> u64 {
+        let _ = self.stop.try_send(());
+        match self.thread.take() {
+            Some(t) => t.join().unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for SnapshotScraper {
+    fn drop(&mut self) {
+        self.stop_thread();
     }
 }
 
@@ -370,6 +477,29 @@ mod tests {
         assert_eq!(total, 100);
         // All 100 queries are in the single shared log.
         assert!(pipeline.handle().with(|l| l.log().queries.len()) >= 100);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn scraper_delivers_periodic_snapshots() {
+        let dataset = DatasetSpec::twitter();
+        let pipeline =
+            StreamPipeline::spawn(config(&dataset), dataset.generator(), 4_096).expect("spawn");
+        let scraper = pipeline
+            .spawn_scraper(std::time::Duration::from_millis(5), 64)
+            .expect("scraper spawns");
+        pipeline.wait_for_phase(PhaseTag::PreTraining);
+        let handle = pipeline.handle();
+        for i in 0..20u32 {
+            let _ = handle.query(&RcDvq::keyword(vec![KeywordId(i % 20)]));
+        }
+        // Wait out at least one scrape tick after the queries landed.
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let snap = scraper.latest().expect("at least one snapshot queued");
+        assert!(snap.window.ingested > 0, "scraped snapshot saw no ingest");
+        assert!(snap.queries_total >= 20);
+        let taken = scraper.stop();
+        assert!(taken >= 1);
         pipeline.shutdown();
     }
 

@@ -32,16 +32,21 @@ pub mod error;
 pub mod features;
 pub mod log;
 pub mod monitor;
+pub mod obsv;
 pub mod pool;
 pub mod system;
 
 pub use adaptor::Recommender;
-pub use concurrent::{SharedLatest, StreamPipeline};
+pub use concurrent::{SharedLatest, SnapshotScraper, StreamPipeline};
 pub use config::{ConfigError, LatestConfigBuilder};
 pub use error::LatestError;
 pub use features::{QueryProfile, RewardScaler};
 pub use log::{PhaseTag, QueryRecord, ShadowSample, SwitchEvent, SystemLog};
 pub use monitor::AccuracyMonitor;
+pub use obsv::{
+    EstimatorRole, EventStream, LifecycleEvent, MetricsRegistry, MetricsSnapshot, RetrainCause,
+    WallTimer,
+};
 pub use pool::EstimatorPool;
 pub use system::{AblationConfig, Latest, LatestConfig, QueryOutcome};
 

@@ -1,0 +1,734 @@
+//! Run-wide observability: the metrics registry, the lifecycle event
+//! stream, and point-in-time snapshots.
+//!
+//! The adaptor's whole control loop (§V-D) runs on signals — moving-average
+//! accuracy, prefill/switch decisions, drift retrainings — that used to be
+//! inspectable only post-hoc through [`SystemLog`](crate::SystemLog). This
+//! module makes the system observable *live*:
+//!
+//! * [`MetricsRegistry`] — one struct of relaxed-atomic counters, gauges,
+//!   and fixed-bucket histograms covering every subsystem: the sliding
+//!   window (occupancy, eviction rates), the estimator pool (rounds, batch
+//!   sizes, per-worker busy time), per-[`EstimatorKind`] estimate-latency
+//!   histograms and memory gauges, and the phase machine itself. The
+//!   exact executor's path-mix counters are the same [`Counter`] cells
+//!   (they live in `exactdb` and are folded into every snapshot).
+//! * [`EventStream`] — a bounded ring of typed [`LifecycleEvent`]s
+//!   (phase transitions, prefill starts/discards, switches, tree
+//!   retrainings, coalesced window evictions, audit failures), so "what
+//!   just happened" has a machine-readable answer.
+//! * [`MetricsSnapshot`] — a plain-data copy of everything above, taken by
+//!   [`Latest::metrics_snapshot`](crate::Latest::metrics_snapshot), with a
+//!   hand-rolled [`MetricsSnapshot::to_json`] writer (the bench harness
+//!   ships it as `BENCH_observability.json`).
+//!
+//! ## Clocks
+//!
+//! The storage cells are clock-free ([`geostream::obsv`]); histograms come
+//! in two variants only by what feeds them. *Virtual-clock* series (the
+//! inter-query stream-time gaps, eviction batch sizes) are derived from
+//! object [`Timestamp`]s and stay deterministic under replay. *Wall-clock*
+//! series (estimate latency, pool busy time) are timed with [`WallTimer`] —
+//! the **single** wall-clock read in the instrumented crates, explicitly
+//! budgeted under the `virtual-clock` lint rule rather than silently
+//! exempted.
+
+use crate::log::PhaseTag;
+use estimators::EstimatorKind;
+use geostream::Timestamp;
+pub use geostream::{Counter, Gauge, Histogram, HistogramSnapshot};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Bucket bounds (microseconds) for wall-clock latency histograms: sub-µs
+/// estimator kernels up to multi-ms stragglers.
+pub const WALL_LATENCY_US_BOUNDS: [u64; 12] =
+    [1, 2, 5, 10, 25, 50, 100, 250, 1_000, 5_000, 25_000, 100_000];
+
+/// Bucket bounds (virtual milliseconds) for stream-time gap histograms.
+pub const VIRTUAL_GAP_MS_BOUNDS: [u64; 9] = [1, 10, 50, 100, 500, 1_000, 5_000, 30_000, 300_000];
+
+/// Bucket bounds (objects) for batch-size histograms (ingest rounds,
+/// eviction sweeps, pool maintenance batches).
+pub const BATCH_SIZE_BOUNDS: [u64; 8] = [1, 4, 16, 64, 256, 1_024, 4_096, 16_384];
+
+/// How many evicted objects accumulate before one coalesced
+/// [`LifecycleEvent::WindowEvicted`] event is emitted. Evictions happen on
+/// every window slide; per-slide events would flood the bounded stream and
+/// push out the rare, valuable ones (switches, phase transitions).
+pub const EVICTION_EVENT_GRANULARITY: u64 = 256;
+
+/// Default capacity of the bounded [`EventStream`].
+pub const DEFAULT_EVENT_CAPACITY: usize = 4_096;
+
+/// The explicit wall-clock instrumentation surface: a started stopwatch.
+///
+/// This is the only place the instrumented crates read the wall clock
+/// (`Instant::now`); the site is counted against the `virtual-clock` lint
+/// budget in `lint.toml`, so any *new* wall-clock read elsewhere still
+/// fails the lint pass. Virtual stream time never flows through this type.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer {
+    start: Instant,
+}
+
+impl WallTimer {
+    /// Starts the stopwatch.
+    pub fn start() -> Self {
+        WallTimer {
+            // LINT-ALLOW(virtual-clock): the one budgeted wall-clock read of the instrumentation surface; stream time stays virtual
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall time in whole microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Elapsed wall time in (fractional) milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1_000.0
+    }
+
+    /// Records the elapsed microseconds into a wall-latency histogram.
+    pub fn observe(&self, histogram: &Histogram) {
+        histogram.record(self.elapsed_us());
+    }
+}
+
+/// Why the Hoeffding tree was reset and regrown (§V-D retraining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainCause {
+    /// DDM drift detection over the tree's own prediction errors.
+    Drift,
+    /// The mean relative error since the last training exceeded the
+    /// configured threshold.
+    ErrorThreshold,
+}
+
+impl RetrainCause {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetrainCause::Drift => "drift",
+            RetrainCause::ErrorThreshold => "error-threshold",
+        }
+    }
+}
+
+/// One typed lifecycle event of a LATEST run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleEvent {
+    /// The phase machine entered `phase` at stream time `at`.
+    PhaseEntered { phase: PhaseTag, at: Timestamp },
+    /// A replacement started pre-filling at query `seq`.
+    PrefillStarted { seq: u64, kind: EstimatorKind },
+    /// A pre-filling replacement was discarded (accuracy recovered).
+    PrefillDiscarded { seq: u64, kind: EstimatorKind },
+    /// The adaptor switched the employed estimator (mirrors the
+    /// [`SwitchEvent`](crate::SwitchEvent) appended to the system log).
+    EstimatorSwitched {
+        seq: u64,
+        at: Timestamp,
+        from: EstimatorKind,
+        to: EstimatorKind,
+        trigger_average: f64,
+    },
+    /// The Hoeffding tree was reset and will regrow.
+    TreeRetrained { seq: u64, cause: RetrainCause },
+    /// `n` objects left the sliding window (coalesced: one event per
+    /// [`EVICTION_EVENT_GRANULARITY`] evictions, stamped with the stream
+    /// time of the sweep that crossed the threshold).
+    WindowEvicted { n: u64, at: Timestamp },
+    /// A `debug-invariants` audit walk found a violated invariant.
+    AuditFailed {
+        structure: String,
+        invariant: String,
+    },
+}
+
+impl LifecycleEvent {
+    /// Snake-case event name (the `"event"` field of the JSON rendering).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LifecycleEvent::PhaseEntered { .. } => "phase_entered",
+            LifecycleEvent::PrefillStarted { .. } => "prefill_started",
+            LifecycleEvent::PrefillDiscarded { .. } => "prefill_discarded",
+            LifecycleEvent::EstimatorSwitched { .. } => "estimator_switched",
+            LifecycleEvent::TreeRetrained { .. } => "tree_retrained",
+            LifecycleEvent::WindowEvicted { .. } => "window_evicted",
+            LifecycleEvent::AuditFailed { .. } => "audit_failed",
+        }
+    }
+
+    /// One-line JSON object for this event.
+    pub fn to_json(&self) -> String {
+        match self {
+            LifecycleEvent::PhaseEntered { phase, at } => format!(
+                "{{\"event\": \"phase_entered\", \"phase\": \"{}\", \"at_ms\": {}}}",
+                phase.name(),
+                at.0
+            ),
+            LifecycleEvent::PrefillStarted { seq, kind } => format!(
+                "{{\"event\": \"prefill_started\", \"seq\": {seq}, \"kind\": \"{}\"}}",
+                kind.name()
+            ),
+            LifecycleEvent::PrefillDiscarded { seq, kind } => format!(
+                "{{\"event\": \"prefill_discarded\", \"seq\": {seq}, \"kind\": \"{}\"}}",
+                kind.name()
+            ),
+            LifecycleEvent::EstimatorSwitched {
+                seq,
+                at,
+                from,
+                to,
+                trigger_average,
+            } => format!(
+                "{{\"event\": \"estimator_switched\", \"seq\": {seq}, \"at_ms\": {}, \
+                 \"from\": \"{}\", \"to\": \"{}\", \"trigger_average\": {trigger_average:.4}}}",
+                at.0,
+                from.name(),
+                to.name()
+            ),
+            LifecycleEvent::TreeRetrained { seq, cause } => format!(
+                "{{\"event\": \"tree_retrained\", \"seq\": {seq}, \"cause\": \"{}\"}}",
+                cause.name()
+            ),
+            LifecycleEvent::WindowEvicted { n, at } => format!(
+                "{{\"event\": \"window_evicted\", \"n\": {n}, \"at_ms\": {}}}",
+                at.0
+            ),
+            LifecycleEvent::AuditFailed {
+                structure,
+                invariant,
+            } => format!(
+                "{{\"event\": \"audit_failed\", \"structure\": \"{structure}\", \
+                 \"invariant\": \"{invariant}\"}}"
+            ),
+        }
+    }
+}
+
+/// A bounded ring of recent [`LifecycleEvent`]s.
+///
+/// Recording is `&self` (a short mutex hold; events are rare by design —
+/// evictions are coalesced). When the ring is full the oldest event is
+/// dropped and the drop is counted, so consumers can tell a quiet system
+/// from a saturated stream.
+pub struct EventStream {
+    inner: Mutex<VecDeque<LifecycleEvent>>,
+    capacity: usize,
+    dropped: Counter,
+}
+
+impl std::fmt::Debug for EventStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventStream")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped.get())
+            .finish()
+    }
+}
+
+impl EventStream {
+    /// An event ring holding at most `capacity` recent events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventStream {
+            inner: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn record(&self, event: LifecycleEvent) {
+        let mut buf = self.inner.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.inc();
+        }
+        buf.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<LifecycleEvent> {
+        self.inner.lock().iter().cloned().collect()
+    }
+
+    /// Events lost to the capacity bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// The ring's capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for EventStream {
+    fn default() -> Self {
+        EventStream::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+/// Maps a phase to its index in per-phase counter arrays.
+pub fn phase_index(phase: PhaseTag) -> usize {
+    match phase {
+        PhaseTag::WarmUp => 0,
+        PhaseTag::PreTraining => 1,
+        PhaseTag::Incremental => 2,
+    }
+}
+
+/// The single place where "is the system healthy" is answerable at
+/// runtime: every subsystem's counters, gauges, and histograms.
+///
+/// All cells update through `&self`, so the registry is shared as an
+/// `Arc` between [`Latest`](crate::Latest) and the estimator pool's
+/// worker threads without locks.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    // --- sliding window / ingest path ---
+    /// Stream objects ingested.
+    pub objects_ingested: Counter,
+    /// Objects evicted by window slides (ingest and query paths).
+    pub objects_evicted: Counter,
+    /// Ingest batches applied.
+    pub ingest_batches: Counter,
+    /// Live window occupancy after the latest slide.
+    pub window_occupancy: Gauge,
+    /// Eviction sweep sizes (objects per non-empty sweep; virtual-clock
+    /// series — sizes are driven by object timestamps).
+    pub eviction_batch_sizes: Histogram,
+    // --- phase machine / queries ---
+    /// Queries answered, total.
+    pub queries_total: Counter,
+    /// Queries answered per phase (`[warm-up, pre-training, incremental]`).
+    pub queries_by_phase: [Counter; 3],
+    /// Virtual stream-time gap between consecutive queries (ms).
+    pub query_stream_gap_ms: Histogram,
+    // --- estimator adaptor ---
+    /// Estimator switches performed.
+    pub switches: Counter,
+    /// Prefills started.
+    pub prefill_starts: Counter,
+    /// Prefills discarded after accuracy recovered.
+    pub prefill_discards: Counter,
+    /// Hoeffding-tree retrainings (drift + error-threshold).
+    pub tree_retrainings: Counter,
+    // --- estimator pool ---
+    /// Pool maintenance/measurement fan-out rounds.
+    pub pool_rounds: Counter,
+    /// Summed wall-clock busy time of all pool workers (µs).
+    pub pool_busy_us: Counter,
+    /// Objects per pool maintenance round (arrivals + evictions).
+    pub pool_batch_sizes: Histogram,
+    /// Per-worker busy time per fan-out round (wall µs).
+    pub pool_worker_busy_us: Histogram,
+    // --- per-estimator-kind series (indexed by `EstimatorKind::index()`) ---
+    /// Wall-clock estimate latency per kind (µs).
+    pub estimate_latency_us: [Histogram; EstimatorKind::COUNT],
+    /// Latest memory footprint per kind (bytes; 0 when unmaintained).
+    pub estimator_memory_bytes: [Gauge; EstimatorKind::COUNT],
+    // --- lifecycle events ---
+    /// Bounded ring of typed lifecycle events.
+    pub events: EventStream,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with all cells zeroed.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            objects_ingested: Counter::new(),
+            objects_evicted: Counter::new(),
+            ingest_batches: Counter::new(),
+            window_occupancy: Gauge::new(),
+            eviction_batch_sizes: Histogram::new(&BATCH_SIZE_BOUNDS),
+            queries_total: Counter::new(),
+            queries_by_phase: std::array::from_fn(|_| Counter::new()),
+            query_stream_gap_ms: Histogram::new(&VIRTUAL_GAP_MS_BOUNDS),
+            switches: Counter::new(),
+            prefill_starts: Counter::new(),
+            prefill_discards: Counter::new(),
+            tree_retrainings: Counter::new(),
+            pool_rounds: Counter::new(),
+            pool_busy_us: Counter::new(),
+            pool_batch_sizes: Histogram::new(&BATCH_SIZE_BOUNDS),
+            pool_worker_busy_us: Histogram::new(&WALL_LATENCY_US_BOUNDS),
+            estimate_latency_us: std::array::from_fn(|_| Histogram::new(&WALL_LATENCY_US_BOUNDS)),
+            estimator_memory_bytes: std::array::from_fn(|_| Gauge::new()),
+            events: EventStream::default(),
+        }
+    }
+
+    /// Records a wall-clock estimate latency for `kind`.
+    pub fn record_estimate_latency(&self, kind: EstimatorKind, us: u64) {
+        self.estimate_latency_us[kind.index() as usize].record(us);
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+/// Window-subsystem slice of a snapshot.
+#[derive(Debug, Clone)]
+pub struct WindowMetrics {
+    pub occupancy: u64,
+    pub ingested: u64,
+    pub evicted: u64,
+    pub ingest_batches: u64,
+    pub eviction_batch_sizes: HistogramSnapshot,
+}
+
+/// Adaptor-subsystem slice of a snapshot.
+#[derive(Debug, Clone)]
+pub struct AdaptorMetrics {
+    pub switches: u64,
+    pub prefill_starts: u64,
+    pub prefill_discards: u64,
+    pub tree_retrainings: u64,
+    /// Observations currently in the accuracy monitor's window.
+    pub monitor_len: u64,
+    /// Current moving-average accuracy, if any observations exist.
+    pub monitor_average: Option<f64>,
+    pub queries_since_switch: u64,
+}
+
+/// Estimator-pool slice of a snapshot.
+#[derive(Debug, Clone)]
+pub struct PoolMetrics {
+    pub rounds: u64,
+    pub busy_us: u64,
+    pub batch_sizes: HistogramSnapshot,
+    pub worker_busy_us: HistogramSnapshot,
+}
+
+/// Exact-executor slice of a snapshot (the access-path mix).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorMetrics {
+    pub spatial: u64,
+    pub inverted: u64,
+}
+
+/// What an estimator is doing for the system right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorRole {
+    /// Answering queries (incremental phase).
+    Active,
+    /// Pre-filling as the designated replacement.
+    Prefilling,
+    /// Maintained in the pre-training pool.
+    Pool,
+    /// Maintained for shadow metrics only.
+    Shadow,
+    /// Not currently maintained.
+    Idle,
+}
+
+impl EstimatorRole {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorRole::Active => "active",
+            EstimatorRole::Prefilling => "prefilling",
+            EstimatorRole::Pool => "pool",
+            EstimatorRole::Shadow => "shadow",
+            EstimatorRole::Idle => "idle",
+        }
+    }
+}
+
+/// Per-kind slice of a snapshot.
+#[derive(Debug, Clone)]
+pub struct EstimatorMetrics {
+    pub kind: EstimatorKind,
+    pub role: EstimatorRole,
+    pub memory_bytes: u64,
+    pub latency_us: HistogramSnapshot,
+}
+
+/// A point-in-time, plain-data copy of the whole registry plus the
+/// adaptor state the registry cannot see (monitor, roles, path mix).
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Current lifetime phase.
+    pub phase: PhaseTag,
+    pub queries_total: u64,
+    /// `[warm-up, pre-training, incremental]`.
+    pub queries_by_phase: [u64; 3],
+    pub query_stream_gap_ms: HistogramSnapshot,
+    pub window: WindowMetrics,
+    pub adaptor: AdaptorMetrics,
+    pub pool: PoolMetrics,
+    pub executor: ExecutorMetrics,
+    /// One entry per [`EstimatorKind`], in `ALL` order.
+    pub estimators: Vec<EstimatorMetrics>,
+    /// Retained lifecycle events, oldest first.
+    pub events: Vec<LifecycleEvent>,
+    /// Events lost to the ring's capacity bound.
+    pub events_dropped: u64,
+}
+
+/// Renders a histogram snapshot as a one-line JSON object.
+fn hist_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    for (i, n) in h.counts.iter().enumerate() {
+        if i > 0 {
+            buckets.push_str(", ");
+        }
+        match h.bounds.get(i) {
+            Some(le) => buckets.push_str(&format!("{{\"le\": {le}, \"n\": {n}}}")),
+            None => buckets.push_str(&format!("{{\"le\": null, \"n\": {n}}}")),
+        }
+    }
+    buckets.push(']');
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"mean\": {:.3}, \"buckets\": {buckets}}}",
+        h.count,
+        h.sum,
+        h.mean()
+    )
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot with the workspace's hand-rolled JSON
+    /// style (the same writer discipline as the bench reports; validated
+    /// by `python3 -m json.tool` in CI).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"phase\": \"{}\",\n", self.phase.name()));
+        s.push_str("  \"queries\": {\n");
+        s.push_str(&format!("    \"total\": {},\n", self.queries_total));
+        s.push_str(&format!("    \"warmup\": {},\n", self.queries_by_phase[0]));
+        s.push_str(&format!(
+            "    \"pretraining\": {},\n",
+            self.queries_by_phase[1]
+        ));
+        s.push_str(&format!(
+            "    \"incremental\": {},\n",
+            self.queries_by_phase[2]
+        ));
+        s.push_str(&format!(
+            "    \"stream_gap_ms\": {}\n",
+            hist_json(&self.query_stream_gap_ms)
+        ));
+        s.push_str("  },\n");
+        s.push_str("  \"window\": {\n");
+        s.push_str(&format!("    \"occupancy\": {},\n", self.window.occupancy));
+        s.push_str(&format!("    \"ingested\": {},\n", self.window.ingested));
+        s.push_str(&format!("    \"evicted\": {},\n", self.window.evicted));
+        s.push_str(&format!(
+            "    \"ingest_batches\": {},\n",
+            self.window.ingest_batches
+        ));
+        s.push_str(&format!(
+            "    \"eviction_batch_sizes\": {}\n",
+            hist_json(&self.window.eviction_batch_sizes)
+        ));
+        s.push_str("  },\n");
+        s.push_str("  \"adaptor\": {\n");
+        s.push_str(&format!("    \"switches\": {},\n", self.adaptor.switches));
+        s.push_str(&format!(
+            "    \"prefill_starts\": {},\n",
+            self.adaptor.prefill_starts
+        ));
+        s.push_str(&format!(
+            "    \"prefill_discards\": {},\n",
+            self.adaptor.prefill_discards
+        ));
+        s.push_str(&format!(
+            "    \"tree_retrainings\": {},\n",
+            self.adaptor.tree_retrainings
+        ));
+        s.push_str(&format!(
+            "    \"monitor_len\": {},\n",
+            self.adaptor.monitor_len
+        ));
+        match self.adaptor.monitor_average {
+            Some(avg) => s.push_str(&format!("    \"monitor_average\": {avg:.4},\n")),
+            None => s.push_str("    \"monitor_average\": null,\n"),
+        }
+        s.push_str(&format!(
+            "    \"queries_since_switch\": {}\n",
+            self.adaptor.queries_since_switch
+        ));
+        s.push_str("  },\n");
+        s.push_str("  \"pool\": {\n");
+        s.push_str(&format!("    \"rounds\": {},\n", self.pool.rounds));
+        s.push_str(&format!("    \"busy_us\": {},\n", self.pool.busy_us));
+        s.push_str(&format!(
+            "    \"batch_sizes\": {},\n",
+            hist_json(&self.pool.batch_sizes)
+        ));
+        s.push_str(&format!(
+            "    \"worker_busy_us\": {}\n",
+            hist_json(&self.pool.worker_busy_us)
+        ));
+        s.push_str("  },\n");
+        s.push_str(&format!(
+            "  \"executor\": {{\"spatial\": {}, \"inverted\": {}}},\n",
+            self.executor.spatial, self.executor.inverted
+        ));
+        s.push_str("  \"estimators\": [\n");
+        for (i, e) in self.estimators.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"role\": \"{}\", \"memory_bytes\": {}, \
+                 \"latency_us\": {}}}{}\n",
+                e.kind.name(),
+                e.role.name(),
+                e.memory_bytes,
+                hist_json(&e.latency_us),
+                if i + 1 < self.estimators.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"events\": {\n");
+        s.push_str(&format!("    \"dropped\": {},\n", self.events_dropped));
+        s.push_str("    \"recent\": [\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            s.push_str(&format!(
+                "      {}{}\n",
+                ev.to_json(),
+                if i + 1 < self.events.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("    ]\n");
+        s.push_str("  }\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// The `PhaseEntered` events, in recorded order.
+    pub fn phase_events(&self) -> Vec<PhaseTag> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                LifecycleEvent::PhaseEntered { phase, .. } => Some(*phase),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The `EstimatorSwitched` events, in recorded order.
+    pub fn switch_events(&self) -> Vec<&LifecycleEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, LifecycleEvent::EstimatorSwitched { .. }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_stream_is_bounded_and_counts_drops() {
+        let stream = EventStream::with_capacity(3);
+        for seq in 0..5 {
+            stream.record(LifecycleEvent::PrefillStarted {
+                seq,
+                kind: EstimatorKind::Rsh,
+            });
+        }
+        assert_eq!(stream.len(), 3);
+        assert_eq!(stream.dropped(), 2);
+        let events = stream.snapshot();
+        // Oldest first, and the two oldest fell off the ring.
+        assert!(
+            matches!(events[0], LifecycleEvent::PrefillStarted { seq: 2, .. }),
+            "unexpected head: {:?}",
+            events[0]
+        );
+    }
+
+    #[test]
+    fn registry_cells_start_zeroed() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.queries_total.get(), 0);
+        assert!(m.events.is_empty());
+        assert!(m.estimate_latency_us.iter().all(|h| h.is_empty()));
+        m.record_estimate_latency(EstimatorKind::Spn, 12);
+        assert_eq!(
+            m.estimate_latency_us[EstimatorKind::Spn.index() as usize].count(),
+            1
+        );
+    }
+
+    #[test]
+    fn wall_timer_measures_something_nonnegative() {
+        let h = Histogram::new(&WALL_LATENCY_US_BOUNDS);
+        let t = WallTimer::start();
+        std::hint::black_box((0..100).sum::<u64>());
+        t.observe(&h);
+        assert_eq!(h.count(), 1);
+        assert!(t.elapsed_ms() >= 0.0);
+    }
+
+    #[test]
+    fn event_json_fragments_are_well_formed() {
+        let events = [
+            LifecycleEvent::PhaseEntered {
+                phase: PhaseTag::WarmUp,
+                at: Timestamp(0),
+            },
+            LifecycleEvent::EstimatorSwitched {
+                seq: 7,
+                at: Timestamp(123),
+                from: EstimatorKind::H4096,
+                to: EstimatorKind::Rsh,
+                trigger_average: 0.61,
+            },
+            LifecycleEvent::TreeRetrained {
+                seq: 9,
+                cause: RetrainCause::Drift,
+            },
+            LifecycleEvent::WindowEvicted {
+                n: 256,
+                at: Timestamp(4),
+            },
+            LifecycleEvent::AuditFailed {
+                structure: "SampleStore".into(),
+                invariant: "dead-counter".into(),
+            },
+        ];
+        for ev in &events {
+            let json = ev.to_json();
+            assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+            assert!(json.contains(ev.name()), "{json}");
+            assert_eq!(
+                json.matches('{').count(),
+                json.matches('}').count(),
+                "{json}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_indices_cover_all_phases() {
+        assert_eq!(phase_index(PhaseTag::WarmUp), 0);
+        assert_eq!(phase_index(PhaseTag::PreTraining), 1);
+        assert_eq!(phase_index(PhaseTag::Incremental), 2);
+    }
+}

@@ -27,9 +27,10 @@
 
 use crate::estimation_accuracy;
 use crate::log::ShadowSample;
+use crate::obsv::{MetricsRegistry, WallTimer};
 use estimators::{build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind};
 use geostream::{GeoTextObject, RcDvq};
-use std::time::Instant;
+use std::sync::Arc;
 
 /// A pool of maintained estimators with a scoped worker fan-out.
 pub struct EstimatorPool {
@@ -39,6 +40,10 @@ pub struct EstimatorPool {
     /// Hardware cap on spawned workers (`available_parallelism` at
     /// construction); fan-outs never exceed it.
     spawn_cap: usize,
+    /// Observability registry fed by fan-out rounds (round counts, batch
+    /// sizes, per-worker busy time, per-kind estimate latency). `None`
+    /// leaves the pool uninstrumented.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl EstimatorPool {
@@ -51,7 +56,21 @@ impl EstimatorPool {
             estimators,
             workers,
             spawn_cap,
+            metrics: None,
         }
+    }
+
+    /// Connects the pool to a metrics registry; subsequent fan-out rounds
+    /// feed it. The registry survives pool rebuilds at phase transitions —
+    /// callers re-attach the same `Arc` to the successor pool.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached metrics registry, if any (for re-attaching across
+    /// pool rebuilds).
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.clone()
     }
 
     /// Builds the full six-estimator pool of the pre-training phase, in
@@ -138,6 +157,15 @@ impl EstimatorPool {
         self.estimators
     }
 
+    /// Records one worker's busy interval into the registry.
+    fn record_busy(metrics: Option<&MetricsRegistry>, timer: WallTimer) {
+        if let Some(m) = metrics {
+            let us = timer.elapsed_us();
+            m.pool_worker_busy_us.record(us);
+            m.pool_busy_us.add(us);
+        }
+    }
+
     /// Fans a closure across every estimator, running `sideline` on the
     /// calling thread while the workers are busy. Each estimator is
     /// visited exactly once, by exactly one thread; the sideline always
@@ -147,20 +175,25 @@ impl EstimatorPool {
         F: Fn(&mut BoxedEstimator) + Sync,
     {
         let workers = self.effective_workers();
+        let metrics = self.metrics.as_deref();
         if workers <= 1 {
             sideline();
+            let timer = WallTimer::start();
             for est in &mut self.estimators {
                 f(est);
             }
+            Self::record_busy(metrics, timer);
             return;
         }
         let f = &f;
         std::thread::scope(|s| {
             for slice in Self::balanced_chunks(&mut self.estimators, workers) {
                 s.spawn(move || {
+                    let timer = WallTimer::start();
                     for est in slice {
                         f(est);
                     }
+                    Self::record_busy(metrics, timer);
                 });
             }
             // Overlaps with the workers; the scope joins them afterwards.
@@ -184,14 +217,25 @@ impl EstimatorPool {
         F: Fn(&mut BoxedEstimator) -> R + Sync,
     {
         let workers = self.effective_workers();
+        let metrics = self.metrics.as_deref();
         if workers <= 1 {
-            return self.estimators.iter_mut().map(f).collect();
+            let timer = WallTimer::start();
+            let out = self.estimators.iter_mut().map(f).collect();
+            Self::record_busy(metrics, timer);
+            return out;
         }
         let f = &f;
         std::thread::scope(|s| {
             let handles: Vec<_> = Self::balanced_chunks(&mut self.estimators, workers)
                 .into_iter()
-                .map(|slice| s.spawn(move || slice.iter_mut().map(f).collect::<Vec<R>>()))
+                .map(|slice| {
+                    s.spawn(move || {
+                        let timer = WallTimer::start();
+                        let out = slice.iter_mut().map(f).collect::<Vec<R>>();
+                        Self::record_busy(metrics, timer);
+                        out
+                    })
+                })
                 .collect();
             // Chunks are contiguous, so joining in spawn order preserves
             // pool order.
@@ -239,6 +283,11 @@ impl EstimatorPool {
         evicted: &[GeoTextObject],
         sideline: impl FnOnce(),
     ) {
+        if let Some(m) = &self.metrics {
+            m.pool_rounds.inc();
+            m.pool_batch_sizes
+                .record((arrived.len() + evicted.len()) as u64);
+        }
         self.fan_out(
             |est| {
                 est.insert_batch(arrived);
@@ -303,17 +352,27 @@ impl EstimatorPool {
 
     /// One measurement round: every estimator answers `query` (timed) and
     /// receives the `observe_query` feedback, in a single fan-out. Samples
-    /// come back in pool order.
+    /// come back in pool order. Estimate latencies also feed the per-kind
+    /// histograms and memory gauges of an attached registry.
     pub fn measure(&mut self, query: &RcDvq, actual: u64) -> Vec<ShadowSample> {
-        self.par_map(|est| {
-            let start = Instant::now();
+        if let Some(m) = &self.metrics {
+            m.pool_rounds.inc();
+        }
+        let metrics = self.metrics.clone();
+        self.par_map(move |est| {
+            let timer = WallTimer::start();
             let estimate = est.estimate(query);
-            let latency_ms = start.elapsed().as_secs_f64() * 1_000.0;
+            let latency_us = timer.elapsed_us();
             est.observe_query(query, actual);
+            if let Some(m) = &metrics {
+                m.record_estimate_latency(est.kind(), latency_us);
+                m.estimator_memory_bytes[est.kind().index() as usize]
+                    .set(est.memory_bytes() as u64);
+            }
             ShadowSample {
                 estimator: est.kind(),
                 estimate,
-                latency_ms,
+                latency_ms: latency_us as f64 / 1_000.0,
                 accuracy: estimation_accuracy(estimate, actual),
             }
         })
@@ -453,6 +512,29 @@ mod tests {
         let err = pool.audit().expect_err("stale estimator must be caught");
         assert_eq!(err.structure, "EstimatorPool");
         assert_eq!(err.invariant, "population-agreement");
+    }
+
+    #[test]
+    fn attached_registry_sees_rounds_and_latencies() {
+        let mut pool = EstimatorPool::full(&config(), 2);
+        let m = Arc::new(MetricsRegistry::new());
+        pool.set_metrics(Arc::clone(&m));
+        pool.apply_batch(&objects(100), &[]);
+        pool.measure(&probe(), 10);
+        assert_eq!(m.pool_rounds.get(), 2);
+        assert_eq!(m.pool_batch_sizes.count(), 1);
+        assert!(m.pool_busy_us.get() > 0 || m.pool_worker_busy_us.count() > 0);
+        for k in EstimatorKind::ALL {
+            assert_eq!(
+                m.estimate_latency_us[k.index() as usize].count(),
+                1,
+                "{k} latency histogram missed the measure round"
+            );
+        }
+        assert!(
+            m.estimator_memory_bytes.iter().any(|g| g.get() > 0),
+            "memory gauges never updated"
+        );
     }
 
     #[test]

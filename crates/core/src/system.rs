@@ -5,13 +5,18 @@ use crate::estimation_accuracy;
 use crate::features::{model_schema, QueryProfile, RewardScaler};
 use crate::log::{PhaseTag, QueryRecord, ShadowSample, SwitchEvent, SystemLog};
 use crate::monitor::AccuracyMonitor;
+use crate::obsv::{
+    phase_index, AdaptorMetrics, EstimatorMetrics, EstimatorRole, ExecutorMetrics, LifecycleEvent,
+    MetricsRegistry, MetricsSnapshot, PoolMetrics, RetrainCause, WallTimer, WindowMetrics,
+    EVICTION_EVENT_GRANULARITY,
+};
 use crate::pool::EstimatorPool;
 use estimators::{build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind};
 use exactdb::{ExactExecutor, SpatialIndexKind};
 use geostream::QueryType;
 use geostream::{Duration, GeoTextObject, RcDvq, SlidingWindow, Timestamp};
 use hoeffding::{DdmDetector, DriftState, HoeffdingTree, HoeffdingTreeConfig, TreeStats};
-use std::time::Instant;
+use std::sync::Arc;
 
 /// Configuration of a LATEST instance. Defaults mirror the paper's §VI-A
 /// setup at laptop scale.
@@ -198,6 +203,14 @@ pub struct Latest {
     /// about a *mix* rather than a single query.
     type_profiles: [Option<QueryProfile>; 3],
     evict_buf: Vec<GeoTextObject>,
+    /// Run-wide observability registry, shared (`Arc`) with the estimator
+    /// pools so their fan-out rounds feed the same cells.
+    metrics: Arc<MetricsRegistry>,
+    /// Evictions accumulated since the last coalesced `WindowEvicted`
+    /// lifecycle event.
+    evictions_since_event: u64,
+    /// Stream time of the previous query, for the inter-query gap series.
+    last_query_at: Option<Timestamp>,
 }
 
 impl Latest {
@@ -212,7 +225,13 @@ impl Latest {
             // LINT-ALLOW(no-panic): `new` documents this panic; `try_new` is the fallible path for recoverable callers
             panic!("{e}");
         }
-        let pool = EstimatorPool::full(&config.estimator_config, config.pool_workers);
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.events.record(LifecycleEvent::PhaseEntered {
+            phase: PhaseTag::WarmUp,
+            at: Timestamp::ZERO,
+        });
+        let mut pool = EstimatorPool::full(&config.estimator_config, config.pool_workers);
+        pool.set_metrics(Arc::clone(&metrics));
         Latest {
             window: SlidingWindow::new(config.window_span),
             executor: ExactExecutor::new(config.estimator_config.domain, config.index_kind),
@@ -231,6 +250,9 @@ impl Latest {
             recent_types: std::collections::VecDeque::new(),
             type_profiles: [None, None, None],
             evict_buf: Vec::new(),
+            metrics,
+            evictions_since_event: 0,
+            last_query_at: None,
             config,
         }
     }
@@ -299,6 +321,127 @@ impl Latest {
         self.window.now()
     }
 
+    /// The run-wide observability registry (shared with the estimator
+    /// pools). Live cells; prefer [`Latest::metrics_snapshot`] for a
+    /// consistent point-in-time copy.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of every subsystem's metrics — window, pool,
+    /// executor path mix, per-estimator series, lifecycle events — plus
+    /// the adaptor state only the system itself can see (monitor window,
+    /// estimator roles).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let m = &self.metrics;
+        let mix = self.executor.path_mix();
+        let role_of = |kind: EstimatorKind| match &self.phase {
+            Phase::WarmUp { pool } | Phase::PreTraining { pool } => {
+                if pool.kinds().contains(&kind) {
+                    EstimatorRole::Pool
+                } else {
+                    EstimatorRole::Idle
+                }
+            }
+            Phase::Incremental {
+                active,
+                prefill,
+                shadow,
+            } => {
+                if active.kind() == kind {
+                    EstimatorRole::Active
+                } else if prefill.as_ref().is_some_and(|p| p.kind() == kind) {
+                    EstimatorRole::Prefilling
+                } else if shadow.kinds().contains(&kind) {
+                    EstimatorRole::Shadow
+                } else {
+                    EstimatorRole::Idle
+                }
+            }
+        };
+        MetricsSnapshot {
+            phase: self.phase(),
+            queries_total: m.queries_total.get(),
+            queries_by_phase: [
+                m.queries_by_phase[0].get(),
+                m.queries_by_phase[1].get(),
+                m.queries_by_phase[2].get(),
+            ],
+            query_stream_gap_ms: m.query_stream_gap_ms.snapshot(),
+            window: WindowMetrics {
+                occupancy: self.window.len() as u64,
+                ingested: m.objects_ingested.get(),
+                evicted: m.objects_evicted.get(),
+                ingest_batches: m.ingest_batches.get(),
+                eviction_batch_sizes: m.eviction_batch_sizes.snapshot(),
+            },
+            adaptor: AdaptorMetrics {
+                switches: m.switches.get(),
+                prefill_starts: m.prefill_starts.get(),
+                prefill_discards: m.prefill_discards.get(),
+                tree_retrainings: m.tree_retrainings.get(),
+                monitor_len: self.monitor.len() as u64,
+                monitor_average: self.monitor.average(),
+                queries_since_switch: self.queries_since_switch as u64,
+            },
+            pool: PoolMetrics {
+                rounds: m.pool_rounds.get(),
+                busy_us: m.pool_busy_us.get(),
+                batch_sizes: m.pool_batch_sizes.snapshot(),
+                worker_busy_us: m.pool_worker_busy_us.snapshot(),
+            },
+            executor: ExecutorMetrics {
+                spatial: mix.spatial,
+                inverted: mix.inverted,
+            },
+            estimators: EstimatorKind::ALL
+                .into_iter()
+                .map(|kind| EstimatorMetrics {
+                    kind,
+                    role: role_of(kind),
+                    memory_bytes: m.estimator_memory_bytes[kind.index() as usize].get(),
+                    latency_us: m.estimate_latency_us[kind.index() as usize].snapshot(),
+                })
+                .collect(),
+            events: m.events.snapshot(),
+            events_dropped: m.events.dropped(),
+        }
+    }
+
+    /// Deep invariant walk over the window, the exact executor, and every
+    /// estimator the current phase maintains. A violation is recorded as
+    /// an `AuditFailed` lifecycle event before being returned, so a run's
+    /// snapshot shows *that* an audit tripped even if the error itself was
+    /// swallowed upstream.
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit(&mut self) -> Result<(), geostream::AuditError> {
+        let result = self
+            .window
+            .audit()
+            .and_then(|()| self.executor.audit())
+            .and_then(|()| match &mut self.phase {
+                Phase::WarmUp { pool } | Phase::PreTraining { pool } => pool.audit(),
+                Phase::Incremental {
+                    active,
+                    prefill,
+                    shadow,
+                } => {
+                    active.audit()?;
+                    if let Some(p) = prefill {
+                        p.audit()?;
+                    }
+                    shadow.audit()
+                }
+            });
+        if let Err(e) = &result {
+            self.metrics.events.record(LifecycleEvent::AuditFailed {
+                structure: e.structure.to_string(),
+                invariant: e.invariant.to_string(),
+            });
+        }
+        result
+    }
+
     /// Overrides the current phase's estimator-pool hardware spawn cap.
     /// Test hook (mirrors [`EstimatorPool::set_spawn_cap`]): lets
     /// single-core CI hosts exercise the real threaded fan-out. Phase
@@ -364,8 +507,30 @@ impl Latest {
                 });
             }
         }
+        self.metrics.objects_ingested.add(batch.len() as u64);
+        self.metrics.ingest_batches.inc();
+        self.note_evictions(evicted.len());
         self.evict_buf = evicted;
         self.maybe_leave_warmup();
+    }
+
+    /// Folds one eviction sweep into the registry: totals, occupancy, the
+    /// sweep-size histogram, and (coalesced) `WindowEvicted` events.
+    fn note_evictions(&mut self, evicted: usize) {
+        self.metrics.window_occupancy.set(self.window.len() as u64);
+        if evicted == 0 {
+            return;
+        }
+        self.metrics.objects_evicted.add(evicted as u64);
+        self.metrics.eviction_batch_sizes.record(evicted as u64);
+        self.evictions_since_event += evicted as u64;
+        if self.evictions_since_event >= EVICTION_EVENT_GRANULARITY {
+            self.metrics.events.record(LifecycleEvent::WindowEvicted {
+                n: self.evictions_since_event,
+                at: self.window.now(),
+            });
+            self.evictions_since_event = 0;
+        }
     }
 
     fn maybe_leave_warmup(&mut self) {
@@ -381,6 +546,10 @@ impl Latest {
                 unreachable!()
             };
             self.phase = Phase::PreTraining { pool };
+            self.metrics.events.record(LifecycleEvent::PhaseEntered {
+                phase: PhaseTag::PreTraining,
+                at: self.window.now(),
+            });
         }
     }
 
@@ -410,7 +579,17 @@ impl Latest {
             }
             self.executor.remove_batch(&evicted);
         }
+        self.note_evictions(evicted.len());
         self.evict_buf = evicted;
+
+        self.metrics.queries_total.inc();
+        self.metrics.queries_by_phase[phase_index(self.phase())].inc();
+        if let Some(prev) = self.last_query_at {
+            self.metrics
+                .query_stream_gap_ms
+                .record(at.0.saturating_sub(prev.0));
+        }
+        self.last_query_at = Some(at);
 
         let seq = self.queries_seen;
         self.queries_seen += 1;
@@ -519,14 +698,22 @@ impl Latest {
             }
             // Otherwise dropped: wiped out to keep one live structure.
         }
+        // Pool rebuilds must not orphan the registry: re-attach the same
+        // `Arc` so shadow fan-outs keep feeding the run-wide cells.
+        let mut shadow = EstimatorPool::new(shadow, self.config.pool_workers);
+        shadow.set_metrics(Arc::clone(&self.metrics));
         self.phase = Phase::Incremental {
             // LINT-ALLOW(no-panic): the loop above inserted every kind, including the default, into the pool
             active: active.expect("default estimator was in the pool"),
             prefill: None,
-            shadow: EstimatorPool::new(shadow, self.config.pool_workers),
+            shadow,
         };
         self.monitor.reset();
         self.queries_since_switch = 0;
+        self.metrics.events.record(LifecycleEvent::PhaseEntered {
+            phase: PhaseTag::Incremental,
+            at: self.window.now(),
+        });
     }
 
     /// Incremental phase: answer with the active estimator, feed the
@@ -571,11 +758,16 @@ impl Latest {
         };
         let active_kind = active.kind();
 
-        let start = Instant::now();
+        let timer = WallTimer::start();
         let estimate = active.estimate(query);
-        let latency_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        let latency_us = timer.elapsed_us();
+        let latency_ms = latency_us as f64 / 1_000.0;
         let accuracy = estimation_accuracy(estimate, actual);
         active.observe_query(query, actual);
+        self.metrics
+            .record_estimate_latency(active_kind, latency_us);
+        self.metrics.estimator_memory_bytes[active_kind.index() as usize]
+            .set(active.memory_bytes() as u64);
 
         // Shadow measurements for the figures, when enabled: one fan-out
         // across the shadow pool.
@@ -620,6 +812,11 @@ impl Latest {
                 self.tree.reset();
                 self.drift.reset();
                 self.drift_retrainings += 1;
+                self.metrics.tree_retrainings.inc();
+                self.metrics.events.record(LifecycleEvent::TreeRetrained {
+                    seq,
+                    cause: RetrainCause::Drift,
+                });
             }
         }
         self.tree.train(&instance, label.index());
@@ -644,9 +841,15 @@ impl Latest {
             let spaced = self.queries_since_switch >= self.config.min_switch_spacing;
             if avg >= prefill_threshold {
                 // Accuracy recovered: discard any pre-filling candidate.
-                if prefill.is_some() {
-                    *prefill = None;
+                if let Some(p) = prefill.take() {
                     self.log.prefill_discards.push(seq);
+                    self.metrics.prefill_discards.inc();
+                    self.metrics
+                        .events
+                        .record(LifecycleEvent::PrefillDiscarded {
+                            seq,
+                            kind: p.kind(),
+                        });
                 }
             } else if spaced {
                 if prefill.is_none() {
@@ -684,6 +887,10 @@ impl Latest {
                         };
                         *prefill = Some(candidate);
                         self.log.prefill_starts.push(seq);
+                        self.metrics.prefill_starts.inc();
+                        self.metrics
+                            .events
+                            .record(LifecycleEvent::PrefillStarted { seq, kind: rec });
                     }
                 }
                 // Below τ with a prefilled replacement ready: activate it.
@@ -706,6 +913,16 @@ impl Latest {
                         to: active.kind(),
                         trigger_average: avg,
                     });
+                    self.metrics.switches.inc();
+                    self.metrics
+                        .events
+                        .record(LifecycleEvent::EstimatorSwitched {
+                            seq,
+                            at,
+                            from: active_kind,
+                            to: active.kind(),
+                            trigger_average: avg,
+                        });
                     self.monitor.reset();
                     self.queries_since_switch = 0;
                     switched = true;
@@ -720,6 +937,11 @@ impl Latest {
                 self.tree.reset();
                 self.error_sum = 0.0;
                 self.error_count = 0;
+                self.metrics.tree_retrainings.inc();
+                self.metrics.events.record(LifecycleEvent::TreeRetrained {
+                    seq,
+                    cause: RetrainCause::ErrorThreshold,
+                });
             }
         }
 

@@ -23,8 +23,12 @@ pub enum EstimatorKind {
 }
 
 impl EstimatorKind {
+    /// Number of estimator kinds (length of [`EstimatorKind::ALL`]) —
+    /// sizes per-kind metric arrays without a magic `6`.
+    pub const COUNT: usize = 6;
+
     /// All kinds, in stable label order (index = Hoeffding class id).
-    pub const ALL: [EstimatorKind; 6] = [
+    pub const ALL: [EstimatorKind; Self::COUNT] = [
         EstimatorKind::H4096,
         EstimatorKind::Rsl,
         EstimatorKind::Rsh,

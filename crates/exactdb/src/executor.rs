@@ -13,8 +13,8 @@ use crate::inverted::InvertedIndex;
 use crate::quad::QuadtreeIndex;
 use crate::rtree::RTreeIndex;
 use crate::store::{ObjectStore, SlotId};
+use geostream::obsv::Counter;
 use geostream::{GeoTextObject, ObjectId, QueryType, RcDvq, Rect};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which spatial backend the executor runs on (the two index families
 /// compared in Table I).
@@ -123,14 +123,15 @@ pub struct ExactExecutor {
     store: ObjectStore,
     backend: Backend,
     inverted: InvertedIndex,
-    /// Per-access-path query counters, updated with `Ordering::Relaxed`:
-    /// they are pure statistics. No other memory is published through
-    /// them, no control flow synchronizes on them, and each counter only
-    /// needs its own eventual sum — exactly the per-variable atomicity
-    /// Relaxed guarantees. `&self` query paths stay shareable across
-    /// threads without a mutex.
-    spatial_hits: AtomicU64,
-    inverted_hits: AtomicU64,
+    /// Per-access-path query counters: pure statistics, stored in the
+    /// observability layer's relaxed [`Counter`] cells. No other memory is
+    /// published through them, no control flow synchronizes on them, and
+    /// each counter only needs its own eventual sum — exactly the
+    /// per-variable atomicity a relaxed counter guarantees. `&self` query
+    /// paths stay shareable across threads without a mutex, and the
+    /// metrics registry folds these into its snapshots directly.
+    spatial_hits: Counter,
+    inverted_hits: Counter,
 }
 
 /// Grid cells per axis for the grid backend (matches the estimator-side
@@ -155,8 +156,8 @@ impl ExactExecutor {
             store: ObjectStore::new(),
             backend,
             inverted: InvertedIndex::new(),
-            spatial_hits: AtomicU64::new(0),
-            inverted_hits: AtomicU64::new(0),
+            spatial_hits: Counter::new(),
+            inverted_hits: Counter::new(),
         }
     }
 
@@ -276,14 +277,11 @@ impl ExactExecutor {
     pub fn execute(&self, query: &RcDvq) -> u64 {
         match self.plan(query) {
             AccessPath::Spatial => {
-                // Relaxed ordering: statistics counter; see the field docs
-                // on `spatial_hits`/`inverted_hits`.
-                self.spatial_hits.fetch_add(1, Ordering::Relaxed);
+                self.spatial_hits.inc();
                 self.backend.count(query, &self.store)
             }
             AccessPath::Inverted => {
-                // Relaxed ordering: statistics counter, as above.
-                self.inverted_hits.fetch_add(1, Ordering::Relaxed);
+                self.inverted_hits.inc();
                 self.inverted
                     .count(query, &self.store)
                     // LINT-ALLOW(no-panic): the planner returns Inverted only for keyword-bearing queries
@@ -301,22 +299,20 @@ impl ExactExecutor {
 
     /// Snapshot of how many queries each access path has served.
     pub fn path_mix(&self) -> PathMix {
-        // Relaxed ordering: each load only needs that counter's own value;
-        // a snapshot taken while queries run may split a concurrent
-        // increment between the two fields, which is inherent to any
-        // non-locking pair of counters and fine for statistics.
+        // A snapshot taken while queries run may split a concurrent
+        // increment between the two relaxed cells, which is inherent to
+        // any non-locking pair of counters and fine for statistics.
         PathMix {
-            spatial: self.spatial_hits.load(Ordering::Relaxed),
-            inverted: self.inverted_hits.load(Ordering::Relaxed),
+            spatial: self.spatial_hits.get(),
+            inverted: self.inverted_hits.get(),
         }
     }
 
-    /// Resets the path-mix counters (bench warmup isolation).
+    /// Resets the path-mix counters (bench warmup isolation). Callers
+    /// quiesce queries around a reset (bench warmup boundaries).
     pub fn reset_path_mix(&self) {
-        // Relaxed ordering: callers quiesce queries around a reset (bench
-        // warmup boundaries); no other writes are published through these.
-        self.spatial_hits.store(0, Ordering::Relaxed);
-        self.inverted_hits.store(0, Ordering::Relaxed);
+        self.spatial_hits.reset();
+        self.inverted_hits.reset();
     }
 
     /// Clears all indexes and the store.

@@ -21,6 +21,7 @@
 pub mod audit;
 pub mod geometry;
 pub mod object;
+pub mod obsv;
 pub mod query;
 pub mod stream;
 pub mod synth;
@@ -32,6 +33,7 @@ pub mod window;
 pub use audit::AuditError;
 pub use geometry::{Point, Rect};
 pub use object::{GeoTextObject, ObjectId};
+pub use obsv::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use query::{QueryType, RcDvq};
 pub use time::{Duration, Timestamp};
 pub use vocab::{KeywordId, Vocabulary};

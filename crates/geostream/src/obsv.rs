@@ -1,0 +1,250 @@
+//! Clock-free metric primitives: counters, gauges, fixed-bucket histograms.
+//!
+//! These are the storage cells of the workspace's observability layer (the
+//! registry and event stream live in `latest-core::obsv`, which re-exports
+//! this module). They live in the base crate so the data-path crates —
+//! `exactdb`'s executor path-mix counters, for instance — can expose their
+//! statistics through the same types the registry snapshots, instead of
+//! ad-hoc `AtomicU64` fields.
+//!
+//! Everything here is a passive cell: **no primitive ever reads a clock**.
+//! Callers feed values in — wall-clock durations from the explicitly
+//! budgeted instrumentation surface in `latest-core`, virtual-stream
+//! durations derived from object [`Timestamp`](crate::Timestamp)s — so this
+//! module stays clean under the `virtual-clock` lint that bans wall-clock
+//! reads in the stream data-path crates.
+//!
+//! All cells update through `&self` with relaxed atomics: they are
+//! statistics, never synchronization points.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        // Relaxed ordering: a pure statistics cell — each increment only
+        // needs atomicity, no cross-cell ordering is ever read from it.
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        // Relaxed ordering: readers want this counter's own value only;
+        // snapshots tolerate tearing across distinct cells.
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero (bench harness epochs).
+    pub fn reset(&self) {
+        // Relaxed ordering: callers quiesce writers around a reset; the
+        // store itself needs no ordering with other cells.
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins instantaneous measurement (occupancy, bytes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the gauge with the latest observation.
+    pub fn set(&self, value: u64) {
+        // Relaxed ordering: last-value-wins statistics; no reader derives
+        // inter-cell ordering from a gauge.
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Latest observation.
+    pub fn get(&self) -> u64 {
+        // Relaxed ordering: the gauge's own value is all a reader needs.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` measurements.
+///
+/// Bucket `i` counts observations `<= bounds[i]` (and greater than the
+/// previous bound); one extra overflow bucket catches everything above the
+/// last bound. Bounds are fixed at construction, so recording is a binary
+/// search plus one relaxed increment — cheap enough for hot paths.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending inclusive upper bounds, one per non-overflow bucket.
+    bounds: Box<[u64]>,
+    /// `bounds.len() + 1` cells; the last is the overflow bucket.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending, non-empty bucket bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.into(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        // Relaxed ordering: statistics cells — each increment is atomic on
+        // its own; snapshots tolerate momentary bucket/count skew.
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        // Relaxed ordering: the total is a statistic, not a sync point.
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            // Relaxed ordering: per-cell loads; a snapshot taken while a
+            // writer runs may skew one observation between cells, which is
+            // acceptable for monitoring output.
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], safe to serialize or ship across
+/// threads after the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending inclusive upper bounds (the overflow bucket has none).
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_routes_values_to_buckets() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        h.record(0); // <= 10
+        h.record(10); // <= 10 (inclusive)
+        h.record(11); // <= 100
+        h.record(5000); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 0, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 5021);
+        assert!((s.mean() - 5021.0 / 4.0).abs() < 1e-12);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let h = Histogram::new(&[1]);
+        assert!(h.is_empty());
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_records_lose_nothing() {
+        let h = Histogram::new(&[8, 64]);
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for v in 0..500u64 {
+                        h.record(v % 100);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 2000);
+        assert_eq!(c.get(), 2000);
+        assert_eq!(h.snapshot().counts.iter().sum::<u64>(), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10, 5]);
+    }
+}

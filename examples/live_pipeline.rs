@@ -61,6 +61,13 @@ fn main() {
     }
     println!("pre-training finished after {i} queries; serving clients…\n");
 
+    // Periodic observability scrape: a background thread snapshots the
+    // metrics registry (counters, latency histograms, lifecycle events)
+    // every 10 ms while the clients run.
+    let scraper = pipeline
+        .spawn_scraper(std::time::Duration::from_millis(10), 64)
+        .expect("scraper thread spawns");
+
     // Four concurrent "client" threads hammer the shared instance while
     // ingestion keeps running underneath.
     let mut clients = Vec::new();
@@ -95,6 +102,20 @@ fn main() {
         handle.active_kind(),
         handle.switch_count(),
         handle.window_len()
+    );
+
+    // Drain the scrape stream, then take one final snapshot directly
+    // (MetricsSnapshot::to_json() gives the machine-readable form).
+    let _ = scraper.latest();
+    let taken = scraper.stop();
+    let snap = handle.metrics_snapshot();
+    println!(
+        "scraper took {taken} periodic snapshots; final: {} queries, \
+         {} lifecycle events, executor path mix {}/{} (spatial/inverted)",
+        snap.queries_total,
+        snap.events.len(),
+        snap.executor.spatial,
+        snap.executor.inverted
     );
     let ingested = pipeline.shutdown();
     println!("pipeline ingested {ingested} objects in the background");

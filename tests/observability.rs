@@ -1,0 +1,280 @@
+//! End-to-end observability: the metrics registry and lifecycle event
+//! stream must agree exactly with the system log across a deterministic
+//! switch storm, and an end-of-run snapshot must carry non-trivial data
+//! for every subsystem.
+
+use estimators::{EstimatorConfig, EstimatorKind};
+use geostream::synth::DatasetSpec;
+use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
+use latest_core::{EstimatorRole, Latest, LatestConfig, LifecycleEvent, PhaseTag};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn storm_config(dataset: &DatasetSpec) -> LatestConfig {
+    LatestConfig {
+        window_span: Duration::from_secs(45),
+        warmup: Duration::from_secs(45),
+        pretrain_queries: 20,
+        accuracy_window: 8,
+        min_switch_spacing: 8,
+        default_estimator: EstimatorKind::H4096,
+        estimator_config: EstimatorConfig {
+            domain: dataset.domain,
+            reservoir_capacity: 1_500,
+            ..EstimatorConfig::default()
+        },
+        ..LatestConfig::default()
+    }
+}
+
+fn keyword_query(rng: &mut StdRng) -> RcDvq {
+    RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))])
+}
+
+fn spatial_query(rng: &mut StdRng, domain: &Rect) -> RcDvq {
+    RcDvq::spatial(Rect::centered_clamped(
+        Point::new(
+            rng.gen_range(domain.min_x..domain.max_x),
+            rng.gen_range(domain.min_y..domain.max_y),
+        ),
+        2.0,
+        1.5,
+        domain,
+    ))
+}
+
+/// Drives a keyword flood against a keyword-blind default estimator so
+/// the adaptor keeps switching, and checks after every query that the
+/// observability layer agrees with the system log: one
+/// `EstimatorSwitched` event per logged switch (same order, same
+/// fields), the accuracy monitor reset on each switch, and the
+/// prefill-start/discard/switch accounting identity.
+#[test]
+fn switch_storm_events_match_system_log() {
+    let dataset = DatasetSpec::twitter();
+    let mut latest = Latest::new(storm_config(&dataset));
+    let mut gen = dataset.generator();
+    while latest.phase() == PhaseTag::WarmUp {
+        latest.ingest(gen.next_object());
+    }
+    let mut rng = StdRng::seed_from_u64(4);
+    // Pre-train on keyword queries so rewards already favor samplers.
+    for _ in 0..20 {
+        latest.ingest(gen.next_object());
+        let q = keyword_query(&mut rng);
+        let _ = latest.query(&q, gen.clock());
+    }
+    assert_eq!(latest.phase(), PhaseTag::Incremental);
+    assert_eq!(latest.active_kind(), EstimatorKind::H4096);
+
+    // Alternate hostile blocks: keyword floods (bad for histograms) and
+    // narrow spatial bursts, so accuracy keeps collapsing after each
+    // switch and the adaptor fires more than once.
+    let mut switches_seen = 0usize;
+    for i in 0..400usize {
+        for _ in 0..2 {
+            latest.ingest(gen.next_object());
+        }
+        let q = if (i / 40) % 2 == 0 {
+            keyword_query(&mut rng)
+        } else {
+            spatial_query(&mut rng, &dataset.domain)
+        };
+        let _ = latest.query(&q, gen.clock());
+
+        let logged = latest.log().switches.len();
+        if logged > switches_seen {
+            switches_seen = logged;
+            // The monitor must restart from empty after every switch (the
+            // switching query's own observation lands before the reset).
+            let snap = latest.metrics_snapshot();
+            assert_eq!(
+                snap.adaptor.monitor_len, 0,
+                "accuracy monitor not reset after switch {logged}"
+            );
+            assert_eq!(snap.adaptor.queries_since_switch, 0);
+        }
+    }
+    assert!(
+        switches_seen >= 2,
+        "hostile workload produced only {switches_seen} switches — not a storm"
+    );
+
+    let snap = latest.metrics_snapshot();
+    let log = latest.log();
+
+    // Every logged switch has exactly one EstimatorSwitched event, in
+    // order, with identical fields.
+    assert_eq!(snap.adaptor.switches, log.switches.len() as u64);
+    let events = snap.switch_events();
+    assert_eq!(events.len(), log.switches.len());
+    for (ev, sw) in events.iter().zip(&log.switches) {
+        match ev {
+            LifecycleEvent::EstimatorSwitched {
+                seq,
+                at,
+                from,
+                to,
+                trigger_average,
+            } => {
+                assert_eq!(*seq, sw.at_seq);
+                assert_eq!(*at, sw.at);
+                assert_eq!(*from, sw.from);
+                assert_eq!(*to, sw.to);
+                assert_eq!(trigger_average.to_bits(), sw.trigger_average.to_bits());
+            }
+            other => panic!("switch_events returned {other:?}"),
+        }
+    }
+
+    // Prefill accounting: registry counters mirror the log, and every
+    // prefill either switched in, was discarded, or is still pending.
+    assert_eq!(snap.adaptor.prefill_starts, log.prefill_starts.len() as u64);
+    assert_eq!(
+        snap.adaptor.prefill_discards,
+        log.prefill_discards.len() as u64
+    );
+    let pending = snap
+        .estimators
+        .iter()
+        .filter(|e| e.role == EstimatorRole::Prefilling)
+        .count() as u64;
+    assert!(pending <= 1, "at most one estimator may be prefilling");
+    assert_eq!(
+        snap.adaptor.prefill_starts,
+        snap.adaptor.switches + snap.adaptor.prefill_discards + pending,
+        "prefill starts must equal switches + discards + pending"
+    );
+
+    // The event stream was sized for the run: nothing was dropped, so the
+    // orderings above are complete, not a suffix.
+    assert_eq!(snap.events_dropped, 0);
+}
+
+/// Acceptance: an end-of-run snapshot is non-trivial for every subsystem
+/// and consistent with the independently queryable system state.
+#[test]
+fn snapshot_covers_every_subsystem() {
+    let dataset = DatasetSpec::twitter();
+    let config = LatestConfig {
+        window_span: Duration::from_secs(45),
+        warmup: Duration::from_secs(45),
+        pretrain_queries: 30,
+        accuracy_window: 12,
+        min_switch_spacing: 12,
+        estimator_config: EstimatorConfig {
+            domain: dataset.domain,
+            reservoir_capacity: 1_500,
+            ..EstimatorConfig::default()
+        },
+        ..LatestConfig::default()
+    };
+    let mut latest = Latest::new(config);
+    let mut gen = dataset.generator();
+    while latest.phase() == PhaseTag::WarmUp {
+        latest.ingest(gen.next_object());
+    }
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..80usize {
+        for _ in 0..10 {
+            latest.ingest(gen.next_object());
+        }
+        let q = match i % 3 {
+            0 => spatial_query(&mut rng, &dataset.domain),
+            1 => keyword_query(&mut rng),
+            _ => RcDvq::hybrid(
+                Rect::centered_clamped(
+                    Point::new(
+                        rng.gen_range(dataset.domain.min_x..dataset.domain.max_x),
+                        rng.gen_range(dataset.domain.min_y..dataset.domain.max_y),
+                    ),
+                    2.0,
+                    1.5,
+                    &dataset.domain,
+                ),
+                vec![KeywordId(rng.gen_range(0..40))],
+            ),
+        };
+        let _ = latest.query(&q, gen.clock());
+    }
+    assert_eq!(latest.phase(), PhaseTag::Incremental);
+
+    let snap = latest.metrics_snapshot();
+
+    // Phase machine: all three phases entered, in lifetime order.
+    assert_eq!(
+        snap.phase_events(),
+        [
+            PhaseTag::WarmUp,
+            PhaseTag::PreTraining,
+            PhaseTag::Incremental
+        ]
+    );
+    assert_eq!(snap.phase, PhaseTag::Incremental);
+
+    // Query accounting adds up and matches the log.
+    assert_eq!(snap.queries_total, 80);
+    assert_eq!(
+        snap.queries_by_phase.iter().sum::<u64>(),
+        snap.queries_total
+    );
+    assert_eq!(snap.queries_total, latest.log().queries.len() as u64);
+
+    // Window: everything ingested is either resident or evicted.
+    assert!(snap.window.ingested > 0);
+    assert_eq!(snap.window.occupancy, latest.window_len() as u64);
+    assert_eq!(
+        snap.window.occupancy + snap.window.evicted,
+        snap.window.ingested
+    );
+
+    // Pool ran during pre-training.
+    assert!(snap.pool.rounds > 0);
+    assert!(snap.pool.batch_sizes.count > 0);
+
+    // Executor path mix in the snapshot equals the executor's own counters.
+    let mix = latest.executor_path_mix();
+    assert_eq!(snap.executor.spatial, mix.spatial);
+    assert_eq!(snap.executor.inverted, mix.inverted);
+    assert_eq!(
+        snap.executor.spatial + snap.executor.inverted,
+        snap.queries_total,
+        "every query takes exactly one access path"
+    );
+
+    // Per-kind estimate latency histograms are all populated (shadow
+    // metrics keep every kind measured) and exactly one kind is active.
+    for e in &snap.estimators {
+        assert!(
+            e.latency_us.count > 0,
+            "no latency samples for {}",
+            e.kind.name()
+        );
+        assert!(e.memory_bytes > 0, "no memory gauge for {}", e.kind.name());
+    }
+    let active: Vec<EstimatorKind> = snap
+        .estimators
+        .iter()
+        .filter(|e| e.role == EstimatorRole::Active)
+        .map(|e| e.kind)
+        .collect();
+    assert_eq!(active, [latest.active_kind()]);
+
+    // The JSON rendering is structurally sound (CI runs it through
+    // `python3 -m json.tool`; this guards the cheap invariants here).
+    let json = snap.to_json();
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    for key in [
+        "\"phase\"",
+        "\"queries\"",
+        "\"window\"",
+        "\"adaptor\"",
+        "\"pool\"",
+        "\"executor\"",
+        "\"estimators\"",
+        "\"events\"",
+    ] {
+        assert!(json.contains(key), "snapshot JSON lacks {key}");
+    }
+}
