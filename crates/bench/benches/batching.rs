@@ -1,0 +1,106 @@
+//! Criterion macro-benchmark: the batched query path against the
+//! one-at-a-time path on the same hot-heavy mix, isolating what
+//! [`Latest::query_batch`] buys — in-batch cache hits, one grouped
+//! executor pass, and multi-query estimate kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estimators::EstimatorConfig;
+use geostream::synth::DatasetSpec;
+use geostream::{Duration, KeywordId, RcDvq, Rect};
+use latest_core::{Latest, LatestConfig, PhaseTag, QueryOptions};
+
+const BATCH: usize = 64;
+const HOT_SET: u32 = 8;
+
+fn ready_latest() -> (Latest, geostream::synth::ObjectGenerator) {
+    let dataset = DatasetSpec::twitter();
+    let config = LatestConfig::builder()
+        .window_span(Duration::from_secs(45))
+        .warmup(Duration::from_secs(45))
+        .pretrain_queries(60)
+        .estimator_config(EstimatorConfig {
+            domain: dataset.domain,
+            reservoir_capacity: 2_400,
+            ..EstimatorConfig::default()
+        })
+        .build()
+        .expect("bench parameters are in range");
+    let mut latest = Latest::new(config);
+    let mut gen = dataset.generator();
+    while latest.phase() == PhaseTag::WarmUp {
+        latest.ingest(gen.next_object());
+    }
+    let center = dataset.spatial_model().hotspots()[0].center;
+    let area = Rect::centered_clamped(center, 2.0, 1.5, &dataset.domain);
+    let mut n = 0u32;
+    while latest.phase() == PhaseTag::PreTraining {
+        latest.ingest(gen.next_object());
+        let q = match n % 3 {
+            0 => RcDvq::spatial(area),
+            1 => RcDvq::keyword(vec![KeywordId(n % 40)]),
+            _ => RcDvq::hybrid(area, vec![KeywordId(n % 40)]),
+        };
+        let _ = latest.query(&q, QueryOptions::at(gen.clock()));
+        n += 1;
+    }
+    (latest, gen)
+}
+
+/// A hot-heavy batch: 64 queries drawn from a hot set of 8 shapes.
+fn hot_batch(dataset: &DatasetSpec, round: u32) -> Vec<RcDvq> {
+    let center = dataset.spatial_model().hotspots()[1].center;
+    let area = Rect::centered_clamped(center, 2.0, 1.5, &dataset.domain);
+    (0..BATCH as u32)
+        .map(|i| {
+            // Deterministic pseudo-draw over the hot set, salted per round
+            // so consecutive batches are not identical sequences.
+            let k = (i.wrapping_mul(2_654_435_761).wrapping_add(round)) % HOT_SET;
+            match k % 3 {
+                0 => RcDvq::spatial(area),
+                1 => RcDvq::keyword(vec![KeywordId(k)]),
+                _ => RcDvq::hybrid(area, vec![KeywordId(k)]),
+            }
+        })
+        .collect()
+}
+
+fn bench_batched_vs_single(c: &mut Criterion) {
+    let dataset = DatasetSpec::twitter();
+    let mut group = c.benchmark_group("latest_batching");
+    group.sample_size(20);
+
+    let (mut latest, mut gen) = ready_latest();
+    let mut round = 0u32;
+    group.bench_function("one_at_a_time_x64", |b| {
+        b.iter(|| {
+            let batch = hot_batch(&dataset, round);
+            round += 1;
+            let mut acc = 0.0f64;
+            for q in &batch {
+                // One arrival per query: the window changes between
+                // requests, exactly like a live one-at-a-time querier.
+                latest.ingest(gen.next_object());
+                acc += latest.query(q, QueryOptions::at(gen.clock())).estimate;
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    let (mut latest, mut gen) = ready_latest();
+    let mut round = 0u32;
+    group.bench_function("query_batch_64", |b| {
+        b.iter(|| {
+            let batch = hot_batch(&dataset, round);
+            round += 1;
+            for _ in 0..BATCH {
+                latest.ingest(gen.next_object());
+            }
+            let outs = latest.query_batch(&batch, QueryOptions::at(gen.clock()));
+            std::hint::black_box(outs.iter().map(|o| o.estimate).sum::<f64>())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_vs_single);
+criterion_main!(benches);

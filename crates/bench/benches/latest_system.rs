@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use estimators::EstimatorConfig;
 use geostream::synth::DatasetSpec;
 use geostream::{Duration, KeywordId, RcDvq, Rect};
-use latest_core::{Latest, LatestConfig, PhaseTag};
+use latest_core::{Latest, LatestConfig, PhaseTag, QueryOptions};
 
 fn ready_latest() -> (Latest, geostream::synth::ObjectGenerator) {
     let dataset = DatasetSpec::twitter();
@@ -36,7 +36,7 @@ fn ready_latest() -> (Latest, geostream::synth::ObjectGenerator) {
             1 => RcDvq::keyword(vec![KeywordId(n % 40)]),
             _ => RcDvq::hybrid(area, vec![KeywordId(n % 40)]),
         };
-        let _ = latest.query(&q, gen.clock());
+        let _ = latest.query(&q, QueryOptions::at(gen.clock()));
         n += 1;
     }
     (latest, gen)
@@ -59,7 +59,7 @@ fn bench_query_path(c: &mut Criterion) {
                 _ => RcDvq::hybrid(area, vec![KeywordId(i % 40)]),
             };
             i += 1;
-            let out = latest.query(&q, gen.clock());
+            let out = latest.query(&q, QueryOptions::at(gen.clock()));
             std::hint::black_box(out.estimate)
         });
     });

@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use estimators::EstimatorConfig;
 use geostream::synth::{DatasetSpec, ObjectGenerator};
 use geostream::{Duration, KeywordId, RcDvq, Rect};
-use latest_core::{Latest, LatestConfig, PhaseTag};
+use latest_core::{Latest, LatestConfig, PhaseTag, QueryOptions};
 
 /// Objects per ingest batch: large enough that per-estimator batch work
 /// dwarfs the scoped-thread spawn cost.
@@ -47,7 +47,7 @@ fn ready_latest(pool_workers: usize) -> (Latest, ObjectGenerator) {
             1 => RcDvq::keyword(vec![KeywordId(n % 40)]),
             _ => RcDvq::hybrid(area, vec![KeywordId(n % 40)]),
         };
-        let _ = latest.query(&q, gen.clock());
+        let _ = latest.query(&q, QueryOptions::at(gen.clock()));
         n += 1;
     }
     assert_eq!(latest.phase(), PhaseTag::Incremental);

@@ -70,6 +70,13 @@ fn main() {
             die(&format!("cannot write {path}: {e}"));
         }
         eprintln!("wrote {path}");
+        let report = latest_bench::batching_bench::run(scale);
+        print!("{}", report.render_text());
+        let path = "BENCH_batching.json";
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote {path}");
         return;
     }
     if targets.is_empty() {

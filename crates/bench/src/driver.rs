@@ -2,7 +2,7 @@
 
 use estimators::EstimatorConfig;
 use geostream::{Duration, Timestamp};
-use latest_core::{Latest, LatestConfig, SystemLog};
+use latest_core::{Latest, LatestConfig, QueryOptions, SystemLog};
 use workloads::WorkloadSpec;
 
 /// How a workload is replayed.
@@ -138,7 +138,7 @@ fn run_workload_inner(
         let pos = qi * spec.total() / total_queries.max(1);
         queries.set_time(objects.clock());
         let query = queries.query_at(pos);
-        let _ = latest.query(&query, objects.clock());
+        let _ = latest.query(&query, QueryOptions::at(objects.clock()));
         if !started && latest.phase() == latest_core::PhaseTag::Incremental {
             incremental_start = latest.now();
             started = true;

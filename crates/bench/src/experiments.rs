@@ -509,6 +509,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "exactdb-bench",
     "estimator-bench",
     "obsv-bench",
+    "batching-bench",
 ];
 
 /// Runs one experiment by id.
@@ -532,6 +533,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<String> {
         "exactdb-bench" => crate::exact_bench::run(scale).render_text(),
         "estimator-bench" => crate::estimator_bench::run(scale).render_text(),
         "obsv-bench" => crate::obsv_bench::run(scale).render_text(),
+        "batching-bench" => crate::batching_bench::run(scale).render_text(),
         _ => return None,
     })
 }
@@ -558,7 +560,7 @@ mod tests {
     #[test]
     fn run_by_name_dispatch() {
         assert!(run_by_name("unknown", Scale::default()).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 18);
+        assert_eq!(ALL_EXPERIMENTS.len(), 19);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! defaults finish each figure in seconds on a laptop while preserving the
 //! paper's qualitative shapes.
 
+pub mod batching_bench;
 pub mod driver;
 pub mod estimator_bench;
 pub mod exact_bench;

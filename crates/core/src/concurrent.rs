@@ -16,14 +16,15 @@
 //!
 //! Query paths are fallible: once a pipeline shuts down, its handles
 //! return [`LatestError::PipelineShutDown`] instead of silently answering
-//! against a stream that is no longer advancing; [`SharedLatest::try_query`]
-//! additionally refuses to block on a contended instance.
+//! against a stream that is no longer advancing; a non-blocking request
+//! ([`QueryOptions::blocking`]`(false)`) additionally refuses to wait on a
+//! contended instance and fails with [`LatestError::WouldBlock`] instead.
 //!
 //! ```
 //! use geostream::synth::DatasetSpec;
 //! use geostream::{Duration, RcDvq, Rect};
 //! use latest_core::concurrent::StreamPipeline;
-//! use latest_core::{LatestConfig, LatestError, PhaseTag};
+//! use latest_core::{LatestConfig, LatestError, PhaseTag, QueryOptions};
 //!
 //! let dataset = DatasetSpec::twitter();
 //! let config = LatestConfig::builder()
@@ -42,12 +43,17 @@
 //! pipeline.wait_for_phase(PhaseTag::PreTraining);
 //! let handle = pipeline.handle();
 //! let out = handle
-//!     .query(&RcDvq::spatial(Rect::new(-120.0, 30.0, -100.0, 45.0)))
+//!     .query(
+//!         &RcDvq::spatial(Rect::new(-120.0, 30.0, -100.0, 45.0)),
+//!         QueryOptions::new(),
+//!     )
 //!     .expect("pipeline is live");
 //! assert!(out.estimate >= 0.0);
 //! pipeline.shutdown();
 //! assert_eq!(
-//!     handle.query(&RcDvq::spatial(Rect::WORLD)).unwrap_err(),
+//!     handle
+//!         .query(&RcDvq::spatial(Rect::WORLD), QueryOptions::new())
+//!         .unwrap_err(),
 //!     LatestError::PipelineShutDown
 //! );
 //! ```
@@ -55,7 +61,7 @@
 use crate::error::LatestError;
 use crate::log::PhaseTag;
 use crate::obsv::MetricsSnapshot;
-use crate::system::{Latest, LatestConfig, QueryOutcome};
+use crate::system::{Latest, LatestConfig, QueryOptions, QueryOutcome};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use estimators::EstimatorKind;
 use geostream::synth::ObjectGenerator;
@@ -122,29 +128,53 @@ impl SharedLatest {
         self.inner.lock().ingest_batch(batch);
     }
 
-    /// Answers an estimation query at the stream's current time.
-    pub fn query(&self, query: &RcDvq) -> Result<QueryOutcome, LatestError> {
+    /// Acquires the instance lock per `options.blocking`: wait for the
+    /// lock, or fail with [`LatestError::WouldBlock`] if it is contended.
+    fn lock_for(
+        &self,
+        options: &QueryOptions,
+    ) -> Result<parking_lot::MutexGuard<'_, Latest>, LatestError> {
         self.ensure_open()?;
-        let mut guard = self.inner.lock();
-        let now = guard.now();
-        Ok(guard.query(query, now))
+        if options.blocking {
+            Ok(self.inner.lock())
+        } else {
+            self.inner.try_lock().ok_or(LatestError::WouldBlock)
+        }
     }
 
-    /// Answers an estimation query at an explicit stream time.
+    /// Answers one query under `options` ([`Latest::query`]), failing once
+    /// the owning pipeline shut down — and, for non-blocking requests,
+    /// when the instance lock is contended.
+    pub fn query(&self, query: &RcDvq, options: QueryOptions) -> Result<QueryOutcome, LatestError> {
+        Ok(self.lock_for(&options)?.query(query, options))
+    }
+
+    /// Answers a batch of queries under one lock acquisition
+    /// ([`Latest::query_batch`]), with the same failure modes as
+    /// [`SharedLatest::query`].
+    pub fn query_batch(
+        &self,
+        queries: &[RcDvq],
+        options: QueryOptions,
+    ) -> Result<Vec<QueryOutcome>, LatestError> {
+        Ok(self.lock_for(&options)?.query_batch(queries, options))
+    }
+
+    /// Answers an estimation query at an explicit stream time (the
+    /// pre-unified API; `query` with [`QueryOptions::at`] replaces it).
+    #[deprecated(since = "0.2.0", note = "use `query(query, QueryOptions::at(at))`")]
     pub fn query_at(&self, query: &RcDvq, at: Timestamp) -> Result<QueryOutcome, LatestError> {
-        self.ensure_open()?;
-        Ok(self.inner.lock().query(query, at))
+        self.query(query, QueryOptions::at(at).use_cache(false))
     }
 
-    /// Non-blocking [`query`]: answers only if the instance lock is free
-    /// right now, otherwise returns [`LatestError::WouldBlock`].
-    ///
-    /// [`query`]: SharedLatest::query
+    /// Non-blocking query (the pre-unified API; `query` with
+    /// [`QueryOptions::blocking`]`(false)` replaces it).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `query(query, QueryOptions::new().blocking(false))`"
+    )]
     pub fn try_query(&self, query: &RcDvq) -> Result<QueryOutcome, LatestError> {
-        self.ensure_open()?;
-        let mut guard = self.inner.try_lock().ok_or(LatestError::WouldBlock)?;
-        let now = guard.now();
-        Ok(guard.query(query, now))
+        self.query(query, QueryOptions::new().blocking(false).use_cache(false))
     }
 
     /// Current lifetime phase.
@@ -260,14 +290,31 @@ impl StreamPipeline {
         self.handle.clone()
     }
 
-    /// Answers an estimation query, failing once the pipeline shut down.
-    pub fn query(&self, query: &RcDvq) -> Result<QueryOutcome, LatestError> {
-        self.handle.query(query)
+    /// Answers one query under `options`, failing once the pipeline shut
+    /// down ([`SharedLatest::query`]).
+    pub fn query(&self, query: &RcDvq, options: QueryOptions) -> Result<QueryOutcome, LatestError> {
+        self.handle.query(query, options)
     }
 
-    /// Non-blocking [`query`](StreamPipeline::query).
+    /// Answers a batch of queries under one lock acquisition
+    /// ([`SharedLatest::query_batch`]).
+    pub fn query_batch(
+        &self,
+        queries: &[RcDvq],
+        options: QueryOptions,
+    ) -> Result<Vec<QueryOutcome>, LatestError> {
+        self.handle.query_batch(queries, options)
+    }
+
+    /// Non-blocking query (the pre-unified API; `query` with
+    /// [`QueryOptions::blocking`]`(false)` replaces it).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `query(query, QueryOptions::new().blocking(false))`"
+    )]
     pub fn try_query(&self, query: &RcDvq) -> Result<QueryOutcome, LatestError> {
-        self.handle.try_query(query)
+        self.handle
+            .query(query, QueryOptions::new().blocking(false).use_cache(false))
     }
 
     /// Blocks until LATEST has reached (at least) `phase`.
@@ -442,7 +489,10 @@ mod tests {
         assert!(handle.window_len() > 0);
         for i in 0..30u32 {
             let out = handle
-                .query(&RcDvq::keyword(vec![KeywordId(i % 20)]))
+                .query(
+                    &RcDvq::keyword(vec![KeywordId(i % 20)]),
+                    QueryOptions::new(),
+                )
                 .expect("pipeline is live");
             assert!(out.estimate >= 0.0);
         }
@@ -466,7 +516,9 @@ mod tests {
                         Rect::new(-120.0, 30.0, -100.0, 45.0),
                         vec![KeywordId(t * 31 + i)],
                     );
-                    let out = handle.query(&q).expect("pipeline is live");
+                    let out = handle
+                        .query(&q, QueryOptions::new())
+                        .expect("pipeline is live");
                     assert!(out.estimate.is_finite());
                     answered += 1;
                 }
@@ -491,7 +543,10 @@ mod tests {
         pipeline.wait_for_phase(PhaseTag::PreTraining);
         let handle = pipeline.handle();
         for i in 0..20u32 {
-            let _ = handle.query(&RcDvq::keyword(vec![KeywordId(i % 20)]));
+            let _ = handle.query(
+                &RcDvq::keyword(vec![KeywordId(i % 20)]),
+                QueryOptions::new(),
+            );
         }
         // Wait out at least one scrape tick after the queries landed.
         std::thread::sleep(std::time::Duration::from_millis(40));
@@ -539,6 +594,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shims must keep failing closed too
     fn queries_fail_after_shutdown() {
         let dataset = DatasetSpec::twitter();
         let pipeline =
@@ -547,10 +603,19 @@ mod tests {
         let handle = pipeline.handle();
         assert!(handle.is_open());
         let q = RcDvq::keyword(vec![KeywordId(1)]);
-        assert!(handle.query(&q).is_ok());
+        assert!(handle.query(&q, QueryOptions::new()).is_ok());
         pipeline.shutdown();
         assert!(!handle.is_open());
-        assert_eq!(handle.query(&q).unwrap_err(), LatestError::PipelineShutDown);
+        assert_eq!(
+            handle.query(&q, QueryOptions::new()).unwrap_err(),
+            LatestError::PipelineShutDown
+        );
+        assert_eq!(
+            handle
+                .query_batch(std::slice::from_ref(&q), QueryOptions::new())
+                .unwrap_err(),
+            LatestError::PipelineShutDown
+        );
         assert_eq!(
             handle.try_query(&q).unwrap_err(),
             LatestError::PipelineShutDown
@@ -562,7 +627,7 @@ mod tests {
     }
 
     #[test]
-    fn try_query_refuses_to_block() {
+    fn non_blocking_query_refuses_to_block() {
         let dataset = DatasetSpec::twitter();
         let shared = SharedLatest::new(config(&dataset));
         let mut gen = dataset.generator();
@@ -570,8 +635,9 @@ mod tests {
             shared.ingest(gen.next_object());
         }
         let q = RcDvq::keyword(vec![KeywordId(1)]);
+        let opts = || QueryOptions::new().blocking(false);
         // Uncontended: answers.
-        assert!(shared.try_query(&q).is_ok());
+        assert!(shared.query(&q, opts()).is_ok());
         // Contended: hold the lock on another thread and expect WouldBlock.
         let holder = shared.clone();
         let (locked_tx, locked_rx) = std::sync::mpsc::channel();
@@ -583,9 +649,23 @@ mod tests {
             });
         });
         locked_rx.recv().expect("lock acquired");
-        assert_eq!(shared.try_query(&q).unwrap_err(), LatestError::WouldBlock);
+        assert_eq!(
+            shared.query(&q, opts()).unwrap_err(),
+            LatestError::WouldBlock
+        );
+        assert_eq!(
+            shared
+                .query_batch(std::slice::from_ref(&q), opts())
+                .unwrap_err(),
+            LatestError::WouldBlock
+        );
         release_tx.send(()).expect("release");
         t.join().expect("holder thread");
-        assert!(shared.try_query(&q).is_ok());
+        assert!(shared.query(&q, opts()).is_ok());
+        // The deprecated shim still maps onto the same non-blocking path.
+        #[allow(deprecated)]
+        {
+            assert!(shared.try_query(&q).is_ok());
+        }
     }
 }

@@ -241,6 +241,14 @@ impl LatestConfigBuilder {
         self
     }
 
+    /// Distinct query signatures the selectivity cache memoizes per
+    /// window generation (`0` disables caching).
+    #[must_use = "setters move the builder; reassign or chain the result"]
+    pub fn selectivity_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.selectivity_cache_capacity = capacity;
+        self
+    }
+
     /// Validates the assembled configuration.
     pub fn build(self) -> Result<LatestConfig, ConfigError> {
         self.config.validate()?;

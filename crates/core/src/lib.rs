@@ -26,6 +26,7 @@
 //! Entry point: [`Latest`]. See `examples/quickstart.rs` for a tour.
 
 pub mod adaptor;
+pub mod cache;
 pub mod concurrent;
 pub mod config;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod pool;
 pub mod system;
 
 pub use adaptor::Recommender;
+pub use cache::{CachedAnswer, SelectivityCache};
 pub use concurrent::{SharedLatest, SnapshotScraper, StreamPipeline};
 pub use config::{ConfigError, LatestConfigBuilder};
 pub use error::LatestError;
@@ -48,7 +50,7 @@ pub use obsv::{
     WallTimer,
 };
 pub use pool::EstimatorPool;
-pub use system::{AblationConfig, Latest, LatestConfig, QueryOutcome};
+pub use system::{AblationConfig, Latest, LatestConfig, QueryOptions, QueryOutcome, ServedBy};
 
 /// Estimation accuracy of an estimate vs. the logged actual selectivity:
 /// `max(0, 1 − |est − actual| / max(actual, 1))`, the relative-error-based

@@ -321,6 +321,13 @@ pub struct MetricsRegistry {
     pub queries_by_phase: [Counter; 3],
     /// Virtual stream-time gap between consecutive queries (ms).
     pub query_stream_gap_ms: Histogram,
+    /// Queries served straight from the selectivity cache (these skip the
+    /// executor, the log, and `queries_total` — a cache hit is a pure read).
+    pub cache_hits: Counter,
+    /// Cache-eligible queries that had to run the full estimation path.
+    pub cache_misses: Counter,
+    /// Sizes of the batches handed to `query_batch` (queries per call).
+    pub query_batch_sizes: Histogram,
     // --- estimator adaptor ---
     /// Estimator switches performed.
     pub switches: Counter,
@@ -361,6 +368,9 @@ impl MetricsRegistry {
             queries_total: Counter::new(),
             queries_by_phase: std::array::from_fn(|_| Counter::new()),
             query_stream_gap_ms: Histogram::new(&VIRTUAL_GAP_MS_BOUNDS),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            query_batch_sizes: Histogram::new(&BATCH_SIZE_BOUNDS),
             switches: Counter::new(),
             prefill_starts: Counter::new(),
             prefill_discards: Counter::new(),
@@ -474,6 +484,13 @@ pub struct MetricsSnapshot {
     /// `[warm-up, pre-training, incremental]`.
     pub queries_by_phase: [u64; 3],
     pub query_stream_gap_ms: HistogramSnapshot,
+    /// Queries served straight from the selectivity cache (not counted in
+    /// `queries_total`).
+    pub cache_hits: u64,
+    /// Cache-eligible queries that ran the full estimation path.
+    pub cache_misses: u64,
+    /// Batch sizes observed by `query_batch`.
+    pub query_batch_sizes: HistogramSnapshot,
     pub window: WindowMetrics,
     pub adaptor: AdaptorMetrics,
     pub pool: PoolMetrics,
@@ -526,8 +543,14 @@ impl MetricsSnapshot {
             self.queries_by_phase[2]
         ));
         s.push_str(&format!(
-            "    \"stream_gap_ms\": {}\n",
+            "    \"stream_gap_ms\": {},\n",
             hist_json(&self.query_stream_gap_ms)
+        ));
+        s.push_str(&format!("    \"cache_hits\": {},\n", self.cache_hits));
+        s.push_str(&format!("    \"cache_misses\": {},\n", self.cache_misses));
+        s.push_str(&format!(
+            "    \"batch_sizes\": {}\n",
+            hist_json(&self.query_batch_sizes)
         ));
         s.push_str("  },\n");
         s.push_str("  \"window\": {\n");

@@ -1,6 +1,7 @@
 //! The LATEST system module: phase orchestration and the Estimator Adaptor.
 
 use crate::adaptor::Recommender;
+use crate::cache::{CachedAnswer, SelectivityCache};
 use crate::estimation_accuracy;
 use crate::features::{model_schema, QueryProfile, RewardScaler};
 use crate::log::{PhaseTag, QueryRecord, ShadowSample, SwitchEvent, SystemLog};
@@ -14,7 +15,7 @@ use crate::pool::EstimatorPool;
 use estimators::{build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind};
 use exactdb::{ExactExecutor, SpatialIndexKind};
 use geostream::QueryType;
-use geostream::{Duration, GeoTextObject, RcDvq, SlidingWindow, Timestamp};
+use geostream::{Duration, GeoTextObject, QuerySignature, RcDvq, SlidingWindow, Timestamp};
 use hoeffding::{DdmDetector, DriftState, HoeffdingTree, HoeffdingTreeConfig, TreeStats};
 use std::sync::Arc;
 
@@ -69,6 +70,10 @@ pub struct LatestConfig {
     /// parallelism is across estimators, so results are identical to the
     /// serial path (latency measurements aside).
     pub pool_workers: usize,
+    /// Capacity of the selectivity cache: distinct query signatures
+    /// memoized per window generation (any window content change clears
+    /// the cache wholesale). `0` disables caching entirely.
+    pub selectivity_cache_capacity: usize,
     /// Ablation knobs for the design-choice experiments. All on for the
     /// full LATEST protocol.
     pub ablation: AblationConfig,
@@ -135,7 +140,126 @@ impl Default for LatestConfig {
             retrain_error_threshold: None,
             drift_detection: true,
             pool_workers: 1,
+            selectivity_cache_capacity: 4_096,
             ablation: AblationConfig::default(),
+        }
+    }
+}
+
+/// Per-request knobs of the unified query API ([`Latest::query`],
+/// [`Latest::query_batch`], and the [`SharedLatest`] /
+/// [`StreamPipeline`] counterparts).
+///
+/// The default is the common case: answer at the stream's current time,
+/// block on a contended shared instance, consult the selectivity cache,
+/// and serve from the estimation path.
+///
+/// ```
+/// use geostream::Timestamp;
+/// use latest_core::QueryOptions;
+///
+/// let opts = QueryOptions::default();
+/// assert!(opts.blocking && opts.use_cache && !opts.exact);
+/// let pinned = QueryOptions::at(Timestamp(1_000)).exact(true);
+/// assert_eq!(pinned.at, Some(Timestamp(1_000)));
+/// ```
+///
+/// [`SharedLatest`]: crate::SharedLatest
+/// [`StreamPipeline`]: crate::StreamPipeline
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    /// Stream time to answer at; `None` means the window's current time.
+    pub at: Option<Timestamp>,
+    /// Whether a shared handle may block on a contended instance lock
+    /// (`false` maps contention to [`LatestError::WouldBlock`]; ignored on
+    /// an exclusive [`Latest`] borrow, which never waits).
+    ///
+    /// [`LatestError::WouldBlock`]: crate::LatestError::WouldBlock
+    pub blocking: bool,
+    /// Whether to consult (and feed) the selectivity cache. Cache hits are
+    /// pure reads: they skip the executor, the learning loop, the query
+    /// log, and the `queries_total` counter.
+    pub use_cache: bool,
+    /// Answer with the exact executor's ground truth instead of an
+    /// estimate. Exact answers bypass the cache, the estimators, and the
+    /// query log — they still count toward `queries_total` and the
+    /// executor's path mix.
+    pub exact: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            at: None,
+            blocking: true,
+            use_cache: true,
+            exact: false,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// The default options (answer now, blocking, cached, estimated).
+    pub fn new() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Default options pinned to an explicit stream time.
+    pub fn at(at: Timestamp) -> Self {
+        QueryOptions {
+            at: Some(at),
+            ..QueryOptions::default()
+        }
+    }
+
+    /// Pins the stream time to answer at.
+    #[must_use = "builder methods move the options; reassign or chain the result"]
+    pub fn at_time(mut self, at: Timestamp) -> Self {
+        self.at = Some(at);
+        self
+    }
+
+    /// Sets whether shared handles may block on a contended instance.
+    #[must_use = "builder methods move the options; reassign or chain the result"]
+    pub fn blocking(mut self, blocking: bool) -> Self {
+        self.blocking = blocking;
+        self
+    }
+
+    /// Sets whether the selectivity cache is consulted and fed.
+    #[must_use = "builder methods move the options; reassign or chain the result"]
+    pub fn use_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+
+    /// Sets whether to answer with exact ground truth instead of an
+    /// estimate.
+    #[must_use = "builder methods move the options; reassign or chain the result"]
+    pub fn exact(mut self, exact: bool) -> Self {
+        self.exact = exact;
+        self
+    }
+}
+
+/// Which subsystem produced a [`QueryOutcome`]'s answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// The estimation path: the named estimator answered.
+    Estimator(EstimatorKind),
+    /// The exact executor's ground truth ([`QueryOptions::exact`]).
+    Exact,
+    /// The selectivity cache (a memoized earlier answer; pure read).
+    Cache,
+}
+
+impl ServedBy {
+    /// Short display name (the estimator's own name for estimator serves).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServedBy::Estimator(kind) => kind.name(),
+            ServedBy::Exact => "exact",
+            ServedBy::Cache => "cache",
         }
     }
 }
@@ -158,6 +282,9 @@ pub struct QueryOutcome {
     pub phase: PhaseTag,
     /// Whether this query triggered an estimator switch.
     pub switched: bool,
+    /// Which subsystem produced the answer (estimator, exact executor, or
+    /// the selectivity cache).
+    pub served_by: ServedBy,
 }
 
 enum Phase {
@@ -203,6 +330,9 @@ pub struct Latest {
     /// about a *mix* rather than a single query.
     type_profiles: [Option<QueryProfile>; 3],
     evict_buf: Vec<GeoTextObject>,
+    /// Memoized answers for repeated queries over an unchanged window,
+    /// keyed on `(QuerySignature, window generation)`.
+    cache: SelectivityCache,
     /// Run-wide observability registry, shared (`Arc`) with the estimator
     /// pools so their fan-out rounds feed the same cells.
     metrics: Arc<MetricsRegistry>,
@@ -250,6 +380,7 @@ impl Latest {
             recent_types: std::collections::VecDeque::new(),
             type_profiles: [None, None, None],
             evict_buf: Vec::new(),
+            cache: SelectivityCache::new(config.selectivity_cache_capacity),
             metrics,
             evictions_since_event: 0,
             last_query_at: None,
@@ -321,6 +452,12 @@ impl Latest {
         self.window.now()
     }
 
+    /// Read access to the selectivity cache (size, generation,
+    /// invalidation count).
+    pub fn cache(&self) -> &SelectivityCache {
+        &self.cache
+    }
+
     /// The run-wide observability registry (shared with the estimator
     /// pools). Live cells; prefer [`Latest::metrics_snapshot`] for a
     /// consistent point-in-time copy.
@@ -368,6 +505,9 @@ impl Latest {
                 m.queries_by_phase[2].get(),
             ],
             query_stream_gap_ms: m.query_stream_gap_ms.snapshot(),
+            cache_hits: m.cache_hits.get(),
+            cache_misses: m.cache_misses.get(),
+            query_batch_sizes: m.query_batch_sizes.snapshot(),
             window: WindowMetrics {
                 occupancy: self.window.len() as u64,
                 ingested: m.objects_ingested.get(),
@@ -553,10 +693,187 @@ impl Latest {
         }
     }
 
-    /// Answers one estimation query at stream time `at`, returning the
-    /// outcome and updating the learning model, the monitor, and — if the
-    /// thresholds say so — the employed estimator.
-    pub fn query(&mut self, query: &RcDvq, at: Timestamp) -> QueryOutcome {
+    /// Answers one query under `options`, returning the outcome and — on
+    /// the estimation path — updating the learning model, the monitor,
+    /// and, if the thresholds say so, the employed estimator.
+    ///
+    /// With the default options the answer is served at the stream's
+    /// current time and the selectivity cache is consulted first: a repeat
+    /// of a recent query over an unchanged window is a pure read that
+    /// skips the executor and the learning loop entirely.
+    pub fn query(&mut self, query: &RcDvq, options: QueryOptions) -> QueryOutcome {
+        let at = options.at.unwrap_or_else(|| self.window.now());
+        self.advance_window_to(at);
+        let cacheable = options.use_cache && !options.exact;
+        let generation = self.window.generation();
+        let sig = query.signature();
+        if cacheable {
+            if let Some(hit) = self.cache.lookup(sig, generation) {
+                self.metrics.cache_hits.inc();
+                return Self::cache_outcome(&hit);
+            }
+            self.metrics.cache_misses.inc();
+        }
+        if options.exact {
+            return self.exact_query(query, at);
+        }
+        let actual = self.executor.execute(query);
+        let outcome = self.answer_estimation(query, at, actual, None);
+        if cacheable {
+            self.cache
+                .insert(sig, generation, Self::cache_entry(&outcome));
+        }
+        outcome
+    }
+
+    /// Answers one estimation query at stream time `at` (the pre-unified
+    /// API; `query` with [`QueryOptions::at`] replaces it). The legacy
+    /// path never consulted a cache, so the shim disables it.
+    #[deprecated(since = "0.2.0", note = "use `query(query, QueryOptions::at(at))`")]
+    pub fn query_at(&mut self, query: &RcDvq, at: Timestamp) -> QueryOutcome {
+        self.query(query, QueryOptions::at(at).use_cache(false))
+    }
+
+    /// Answers a batch of queries under one set of options, equivalently
+    /// to issuing them one at a time in order — same estimates (bit-equal),
+    /// same feedback order, same counters — but with the grouped work
+    /// amortized:
+    ///
+    /// * the window slides once for the whole batch;
+    /// * duplicate signatures and cached answers collapse onto one
+    ///   execution (the rest are pure cache reads);
+    /// * the remaining misses run through
+    ///   [`ExactExecutor::execute_batch`](exactdb::ExactExecutor::execute_batch),
+    ///   which groups by access path and shares posting-list merges;
+    /// * when the active estimator's `estimate` is a pure read (anything
+    ///   but the self-training FFN), the misses' estimates are produced by
+    ///   one multi-query kernel pass over the sample columns.
+    ///
+    /// Per-query feedback (reward scaling, tree training, the accuracy
+    /// monitor, switch decisions) still runs in original order, so the
+    /// adaptor sees exactly the single-query history.
+    pub fn query_batch(&mut self, queries: &[RcDvq], options: QueryOptions) -> Vec<QueryOutcome> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        self.metrics.query_batch_sizes.record(queries.len() as u64);
+        let at = options.at.unwrap_or_else(|| self.window.now());
+        self.advance_window_to(at);
+        if options.exact {
+            // Ground-truth batches skip the cache and the estimation path:
+            // one grouped executor pass answers everything.
+            let timer = WallTimer::start();
+            let actuals = self.executor.execute_batch(queries);
+            let latency_ms = timer.elapsed_ms() / queries.len() as f64;
+            let estimator = self.active_kind();
+            let phase = self.phase();
+            let mut outcomes = Vec::with_capacity(queries.len());
+            for actual in actuals {
+                self.record_query_admission(at);
+                outcomes.push(QueryOutcome {
+                    estimate: actual as f64,
+                    actual,
+                    latency_ms,
+                    accuracy: 1.0,
+                    estimator,
+                    phase,
+                    switched: false,
+                    served_by: ServedBy::Exact,
+                });
+            }
+            return outcomes;
+        }
+        let cacheable = options.use_cache;
+        let generation = self.window.generation();
+        let sigs: Vec<QuerySignature> = queries.iter().map(|q| q.signature()).collect();
+        // Predict the hit/miss partition upfront: the first occurrence of
+        // each signature not already cached runs the full path; every
+        // later occurrence hits the answer that first one inserts. The
+        // window cannot change mid-batch, so the partition is exact (up to
+        // the cache's capacity bound — the loop below falls back to the
+        // single-query path if an entry failed to land).
+        let mut missed: Vec<usize> = Vec::new();
+        if cacheable {
+            let mut pending: std::collections::HashSet<QuerySignature> =
+                std::collections::HashSet::new();
+            for (i, sig) in sigs.iter().enumerate() {
+                if !self.cache.contains(*sig, generation) && pending.insert(*sig) {
+                    missed.push(i);
+                }
+            }
+        } else {
+            missed = (0..queries.len()).collect();
+        }
+        let missed_queries: Vec<RcDvq> = missed.iter().map(|&i| queries[i].clone()).collect();
+        let actuals = self.executor.execute_batch(&missed_queries);
+        let mut estimates: Vec<Option<(f64, u64)>> = vec![None; missed_queries.len()];
+        self.precompute_estimates(&missed_queries, &mut estimates, 0);
+        let mut outcomes = Vec::with_capacity(queries.len());
+        let mut next_miss = 0usize;
+        for (i, query) in queries.iter().enumerate() {
+            if cacheable {
+                if let Some(hit) = self.cache.lookup(sigs[i], generation) {
+                    self.metrics.cache_hits.inc();
+                    outcomes.push(Self::cache_outcome(&hit));
+                    continue;
+                }
+                self.metrics.cache_misses.inc();
+            }
+            let (actual, precomputed) = if next_miss < missed.len() && missed[next_miss] == i {
+                let m = next_miss;
+                next_miss += 1;
+                (actuals[m], estimates[m])
+            } else {
+                // Predicted hit that missed after all (the cache's
+                // capacity bound refused the insert): single-query path.
+                (self.executor.execute(query), None)
+            };
+            let outcome = self.answer_estimation(query, at, actual, precomputed);
+            if cacheable {
+                self.cache
+                    .insert(sigs[i], generation, Self::cache_entry(&outcome));
+            }
+            if outcome.switched {
+                // The active estimator changed: every pre-computed estimate
+                // for the tail of the batch is stale. Re-derive them from
+                // the replacement (or fall back to in-sequence estimates if
+                // the replacement is the self-training FFN).
+                self.precompute_estimates(&missed_queries, &mut estimates, next_miss);
+            }
+            outcomes.push(outcome);
+        }
+        outcomes
+    }
+
+    /// Builds the outcome of a cache hit: a pure read — zero latency, no
+    /// switch, no feedback.
+    fn cache_outcome(hit: &CachedAnswer) -> QueryOutcome {
+        QueryOutcome {
+            estimate: hit.estimate,
+            actual: hit.actual,
+            latency_ms: 0.0,
+            accuracy: hit.accuracy,
+            estimator: hit.estimator,
+            phase: hit.phase,
+            switched: false,
+            served_by: ServedBy::Cache,
+        }
+    }
+
+    /// The memoizable slice of an outcome.
+    fn cache_entry(outcome: &QueryOutcome) -> CachedAnswer {
+        CachedAnswer {
+            estimate: outcome.estimate,
+            actual: outcome.actual,
+            accuracy: outcome.accuracy,
+            estimator: outcome.estimator,
+            phase: outcome.phase,
+        }
+    }
+
+    /// Slides the window to `at` and propagates the eviction sweep to the
+    /// phase's estimators and the exact executor.
+    fn advance_window_to(&mut self, at: Timestamp) {
         self.evict_buf.clear();
         let mut evicted = std::mem::take(&mut self.evict_buf);
         self.window.advance_to(at, &mut evicted);
@@ -581,7 +898,10 @@ impl Latest {
         }
         self.note_evictions(evicted.len());
         self.evict_buf = evicted;
+    }
 
+    /// Counts one admitted (non-cache-hit) query into the registry.
+    fn record_query_admission(&mut self, at: Timestamp) {
         self.metrics.queries_total.inc();
         self.metrics.queries_by_phase[phase_index(self.phase())].inc();
         if let Some(prev) = self.last_query_at {
@@ -590,20 +910,80 @@ impl Latest {
                 .record(at.0.saturating_sub(prev.0));
         }
         self.last_query_at = Some(at);
+    }
 
+    /// The ground-truth path: the exact executor answers, nothing is
+    /// learned and nothing is logged (the answer is not an estimate).
+    fn exact_query(&mut self, query: &RcDvq, at: Timestamp) -> QueryOutcome {
+        self.record_query_admission(at);
+        let timer = WallTimer::start();
+        let actual = self.executor.execute(query);
+        QueryOutcome {
+            estimate: actual as f64,
+            actual,
+            latency_ms: timer.elapsed_ms(),
+            accuracy: 1.0,
+            estimator: self.active_kind(),
+            phase: self.phase(),
+            switched: false,
+            served_by: ServedBy::Exact,
+        }
+    }
+
+    /// The estimation path for one admitted query with its ground truth
+    /// already executed (and, on the batch path, a pre-computed estimate).
+    fn answer_estimation(
+        &mut self,
+        query: &RcDvq,
+        at: Timestamp,
+        actual: u64,
+        precomputed: Option<(f64, u64)>,
+    ) -> QueryOutcome {
+        self.record_query_admission(at);
         let seq = self.queries_seen;
         self.queries_seen += 1;
-        let actual = self.executor.execute(query);
         let profile = QueryProfile::of(query, &self.config.estimator_config.domain);
-
         let outcome = match self.phase() {
             PhaseTag::WarmUp | PhaseTag::PreTraining => {
                 self.pretraining_query(query, at, seq, actual, &profile)
             }
-            PhaseTag::Incremental => self.incremental_query(query, at, seq, actual, &profile),
+            PhaseTag::Incremental => {
+                self.incremental_query(query, at, seq, actual, &profile, precomputed)
+            }
         };
         self.maybe_finish_pretraining();
         outcome
+    }
+
+    /// Fills `out[from..]` with one batched-kernel estimate per query when
+    /// the active estimator's `estimate` is a pure read (incremental
+    /// phase, non-FFN active — the FFN trains itself on every observed
+    /// query, so its answers must be produced in sequence). Stale slots
+    /// are cleared when batching does not apply. The recorded per-query
+    /// latency is the kernel pass amortized over its queries.
+    fn precompute_estimates(&self, queries: &[RcDvq], out: &mut [Option<(f64, u64)>], from: usize) {
+        if from >= queries.len() {
+            return;
+        }
+        let batchable = match &self.phase {
+            Phase::Incremental { active, .. } => active.kind() != EstimatorKind::Ffn,
+            _ => false,
+        };
+        if !batchable {
+            for slot in out[from..].iter_mut() {
+                *slot = None;
+            }
+            return;
+        }
+        let Phase::Incremental { active, .. } = &self.phase else {
+            unreachable!("batchable implies incremental")
+        };
+        let timer = WallTimer::start();
+        let estimates = active.estimate_batch(&queries[from..]);
+        let per_query_us = timer.elapsed_us() / (queries.len() - from) as u64;
+        for (slot, estimate) in out[from..].iter_mut().zip(estimates) {
+            *slot = Some((estimate, per_query_us));
+        }
     }
 
     /// Pre-training: run the query on the whole pool, score every
@@ -667,6 +1047,7 @@ impl Latest {
             estimator: default_kind,
             phase: self.phase(),
             switched: false,
+            served_by: ServedBy::Estimator(default_kind),
         }
     }
 
@@ -725,6 +1106,7 @@ impl Latest {
         seq: u64,
         actual: u64,
         profile: &QueryProfile,
+        precomputed: Option<(f64, u64)>,
     ) -> QueryOutcome {
         let tau = self.config.tau;
         let prefill_threshold = self.config.beta * tau;
@@ -758,9 +1140,18 @@ impl Latest {
         };
         let active_kind = active.kind();
 
-        let timer = WallTimer::start();
-        let estimate = active.estimate(query);
-        let latency_us = timer.elapsed_us();
+        let (estimate, latency_us) = match precomputed {
+            // The batch path pre-computed this answer with one multi-query
+            // kernel pass; `estimate` on a pure-read estimator is
+            // deterministic, so the value is bit-equal to what the call
+            // below would produce.
+            Some(pair) => pair,
+            None => {
+                let timer = WallTimer::start();
+                let estimate = active.estimate(query);
+                (estimate, timer.elapsed_us())
+            }
+        };
         let latency_ms = latency_us as f64 / 1_000.0;
         let accuracy = estimation_accuracy(estimate, actual);
         active.observe_query(query, actual);
@@ -966,6 +1357,7 @@ impl Latest {
             estimator: active_kind,
             phase: PhaseTag::Incremental,
             switched,
+            served_by: ServedBy::Estimator(active_kind),
         }
     }
 
@@ -1043,7 +1435,7 @@ mod tests {
                 latest.ingest(gen.next_object());
             }
             let q = random_query(&mut rng, &domain);
-            let out = latest.query(&q, gen.clock());
+            let out = latest.query(&q, QueryOptions::at(gen.clock()));
             assert!(out.estimate >= 0.0);
         }
         assert_eq!(latest.phase(), PhaseTag::Incremental);
@@ -1060,7 +1452,7 @@ mod tests {
         for _ in 0..10 {
             latest.ingest(gen.next_object());
             let q = random_query(&mut rng, &domain);
-            let out = latest.query(&q, gen.clock());
+            let out = latest.query(&q, QueryOptions::at(gen.clock()));
             assert_eq!(out.estimator, EstimatorKind::Rsh);
             assert_eq!(out.phase, PhaseTag::PreTraining);
         }
@@ -1082,7 +1474,7 @@ mod tests {
                 latest.ingest(gen.next_object());
             }
             let q = random_query(&mut rng, &domain);
-            let _ = latest.query(&q, gen.clock());
+            let _ = latest.query(&q, QueryOptions::at(gen.clock()));
         }
         let log = latest.log();
         assert!(log.incremental_queries() > 0);
@@ -1114,7 +1506,7 @@ mod tests {
                 latest.ingest(gen.next_object());
             }
             let q = random_query(&mut rng, &domain);
-            let _ = latest.query(&q, gen.clock());
+            let _ = latest.query(&q, QueryOptions::at(gen.clock()));
             queries += 1;
         }
         assert_eq!(latest.executor_path_mix().total(), queries);
@@ -1136,7 +1528,7 @@ mod tests {
         for _ in 0..20 {
             latest.ingest(gen.next_object());
             let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
-            let _ = latest.query(&q, gen.clock());
+            let _ = latest.query(&q, QueryOptions::at(gen.clock()));
         }
         assert_eq!(latest.phase(), PhaseTag::Incremental);
         assert_eq!(latest.active_kind(), EstimatorKind::H4096);
@@ -1145,7 +1537,7 @@ mod tests {
                 latest.ingest(gen.next_object());
             }
             let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
-            let _ = latest.query(&q, gen.clock());
+            let _ = latest.query(&q, QueryOptions::at(gen.clock()));
             if latest.active_kind() != EstimatorKind::H4096 {
                 break;
             }
@@ -1183,7 +1575,7 @@ mod tests {
                 10.0,
                 &domain,
             ));
-            let _ = latest.query(&q, gen.clock());
+            let _ = latest.query(&q, QueryOptions::at(gen.clock()));
         }
         assert!(
             latest.log().switches.len() <= 1,
@@ -1204,7 +1596,7 @@ mod tests {
         for _ in 0..20 {
             latest.ingest(gen.next_object());
             let q = random_query(&mut rng, &domain);
-            let _ = latest.query(&q, gen.clock());
+            let _ = latest.query(&q, QueryOptions::at(gen.clock()));
         }
         let last = latest.log().queries.last().unwrap();
         assert_eq!(last.phase, PhaseTag::Incremental);
@@ -1240,7 +1632,7 @@ mod tests {
         for _ in 0..120 {
             latest.ingest(gen.next_object());
             let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
-            let _ = latest.query(&q, gen.clock());
+            let _ = latest.query(&q, QueryOptions::at(gen.clock()));
         }
         assert_eq!(latest.active_kind(), EstimatorKind::H4096);
         assert!(latest.log().switches.is_empty());
@@ -1262,7 +1654,7 @@ mod tests {
                 latest.ingest(gen.next_object());
             }
             let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
-            let _ = latest.query(&q, gen.clock());
+            let _ = latest.query(&q, QueryOptions::at(gen.clock()));
             if latest.active_kind() != EstimatorKind::H4096 {
                 break;
             }
@@ -1287,7 +1679,7 @@ mod tests {
                 latest.ingest(gen.next_object());
             }
             let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..50))]);
-            let _ = latest.query(&q, gen.clock());
+            let _ = latest.query(&q, QueryOptions::at(gen.clock()));
             if latest.active_kind() != EstimatorKind::H4096 {
                 break;
             }
@@ -1301,5 +1693,147 @@ mod tests {
         let mut config = small_config();
         config.tau = 1.5;
         let _ = Latest::new(config);
+    }
+
+    #[test]
+    fn repeat_query_hits_cache_until_window_changes() {
+        let config = small_config();
+        let mut latest = Latest::new(config);
+        let mut gen = warm_up(&mut latest);
+        let q = RcDvq::keyword(vec![KeywordId(3)]);
+        let first = latest.query(&q, QueryOptions::at(gen.clock()));
+        assert!(matches!(first.served_by, ServedBy::Estimator(_)));
+        // Same query, unchanged window: a pure cache read that repeats the
+        // answer bit-for-bit and skips the executor and the log.
+        let logged = latest.log().queries.len();
+        let hit = latest.query(&q, QueryOptions::at(gen.clock()));
+        assert_eq!(hit.served_by, ServedBy::Cache);
+        assert_eq!(hit.estimate.to_bits(), first.estimate.to_bits());
+        assert_eq!(hit.actual, first.actual);
+        assert_eq!(hit.accuracy.to_bits(), first.accuracy.to_bits());
+        assert_eq!(hit.latency_ms, 0.0);
+        assert!(!hit.switched);
+        assert_eq!(latest.log().queries.len(), logged);
+        let m = latest.metrics_snapshot();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        // Any content change invalidates: the next repeat misses again.
+        latest.ingest(gen.next_object());
+        let after = latest.query(&q, QueryOptions::at(gen.clock()));
+        assert_ne!(after.served_by, ServedBy::Cache);
+        assert_eq!(latest.metrics_snapshot().cache_misses, 2);
+        assert!(latest.cache().invalidations() >= 1);
+    }
+
+    #[test]
+    fn opting_out_of_the_cache_repeats_the_full_path() {
+        let config = small_config();
+        let mut latest = Latest::new(config);
+        let gen = warm_up(&mut latest);
+        let q = RcDvq::keyword(vec![KeywordId(3)]);
+        let opts = QueryOptions::at(gen.clock()).use_cache(false);
+        let logged = latest.log().queries.len();
+        let _ = latest.query(&q, opts);
+        let second = latest.query(&q, opts);
+        assert_ne!(second.served_by, ServedBy::Cache);
+        assert_eq!(latest.log().queries.len(), logged + 2);
+        assert_eq!(latest.metrics_snapshot().cache_hits, 0);
+        // The deprecated shim preserves the legacy cache-free semantics.
+        #[allow(deprecated)]
+        let third = latest.query_at(&q, gen.clock());
+        assert_ne!(third.served_by, ServedBy::Cache);
+    }
+
+    #[test]
+    fn exact_queries_bypass_estimation_and_learning() {
+        let config = small_config();
+        let mut latest = Latest::new(config);
+        let gen = warm_up(&mut latest);
+        let q = RcDvq::keyword(vec![KeywordId(7)]);
+        let logged = latest.log().queries.len();
+        let out = latest.query(&q, QueryOptions::at(gen.clock()).exact(true));
+        assert_eq!(out.served_by, ServedBy::Exact);
+        assert_eq!(out.estimate, out.actual as f64);
+        assert_eq!(out.accuracy, 1.0);
+        // Ground truth is not an estimate: nothing is logged or learned,
+        // and nothing lands in the cache.
+        assert_eq!(latest.log().queries.len(), logged);
+        assert!(latest.cache().is_empty());
+        let estimated = latest.query(&q, QueryOptions::at(gen.clock()));
+        assert!(matches!(estimated.served_by, ServedBy::Estimator(_)));
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_queries() {
+        let config = small_config();
+        let domain = config.estimator_config.domain;
+        let mut batched = Latest::new(config);
+        let mut single = Latest::new(small_config());
+        let gen_b = warm_up(&mut batched);
+        let _gen_s = warm_up(&mut single);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut queries: Vec<RcDvq> = (0..24).map(|_| random_query(&mut rng, &domain)).collect();
+        // Duplicates inside the batch must collapse onto cache hits.
+        queries.push(queries[0].clone());
+        queries.push(queries[3].clone());
+        let at = gen_b.clock();
+        let batch_outs = batched.query_batch(&queries, QueryOptions::at(at));
+        let single_outs: Vec<QueryOutcome> = queries
+            .iter()
+            .map(|q| single.query(q, QueryOptions::at(at)))
+            .collect();
+        assert_eq!(batch_outs.len(), single_outs.len());
+        for (b, s) in batch_outs.iter().zip(&single_outs) {
+            assert_eq!(b.estimate.to_bits(), s.estimate.to_bits());
+            assert_eq!(b.actual, s.actual);
+            assert_eq!(b.accuracy.to_bits(), s.accuracy.to_bits());
+            assert_eq!(b.estimator, s.estimator);
+            assert_eq!(b.phase, s.phase);
+            assert_eq!(b.served_by, s.served_by);
+        }
+        assert_eq!(batch_outs[24].served_by, ServedBy::Cache);
+        assert_eq!(batch_outs[25].served_by, ServedBy::Cache);
+        assert_eq!(batched.log().queries.len(), single.log().queries.len());
+        let m = batched.metrics_snapshot();
+        // At least the two appended duplicates hit (the random 24 may
+        // collide among themselves too).
+        assert!(m.cache_hits >= 2);
+        assert_eq!(m.query_batch_sizes.count, 1);
+    }
+
+    #[test]
+    fn exact_batch_reports_ground_truth_for_every_query() {
+        let config = small_config();
+        let mut latest = Latest::new(config);
+        let gen = warm_up(&mut latest);
+        let queries = vec![
+            RcDvq::keyword(vec![KeywordId(1)]),
+            RcDvq::spatial(Rect::WORLD),
+            RcDvq::keyword(vec![KeywordId(1)]),
+        ];
+        let outs = latest.query_batch(&queries, QueryOptions::at(gen.clock()).exact(true));
+        assert_eq!(outs.len(), 3);
+        for (q, out) in queries.iter().zip(&outs) {
+            assert_eq!(out.served_by, ServedBy::Exact);
+            assert_eq!(
+                out.actual,
+                latest
+                    .query(q, QueryOptions::at(gen.clock()).exact(true))
+                    .actual
+            );
+        }
+        assert_eq!(outs[1].actual, latest.window_len() as u64);
+        assert_eq!(outs[0].actual, outs[2].actual);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut latest = Latest::new(small_config());
+        let _ = warm_up(&mut latest);
+        let before = latest.metrics_snapshot();
+        assert!(latest.query_batch(&[], QueryOptions::new()).is_empty());
+        let after = latest.metrics_snapshot();
+        assert_eq!(after.queries_total, before.queries_total);
+        assert_eq!(after.query_batch_sizes.count, 0);
     }
 }

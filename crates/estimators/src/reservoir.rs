@@ -137,6 +137,22 @@ impl SelectivityEstimator for ReservoirList {
         self.scaled_matches(query)
     }
 
+    /// Batch variant: one [`SampleStore::count_many`] call shares the
+    /// column passes and posting merges across the batch. Every kernel is
+    /// an exact count and the scaling expression is identical, so each
+    /// result is bit-equal to [`ReservoirList::estimate`] on that query.
+    fn estimate_batch(&self, queries: &[RcDvq]) -> Vec<f64> {
+        if self.store.is_empty() {
+            return vec![0.0; queries.len()];
+        }
+        let n = self.store.len() as f64;
+        self.store
+            .count_many(queries)
+            .into_iter()
+            .map(|matches| matches as f64 / n * self.population as f64)
+            .collect()
+    }
+
     fn memory_bytes(&self) -> usize {
         self.store.memory_bytes() + std::mem::size_of::<Self>()
     }
@@ -298,6 +314,28 @@ mod tests {
         assert_eq!(r.sample_len(), 0);
         assert_eq!(r.population(), 0);
         assert!(r.memory_bytes() > 0); // struct overhead remains
+    }
+
+    #[test]
+    fn estimate_batch_is_bit_equal_to_singles() {
+        let mut r = ReservoirList::new(&config(64));
+        for i in 0..2_000 {
+            r.insert(&obj(i, (i % 97) as f64, (i % 89) as f64, &[i as u32 % 6]));
+        }
+        let batch = vec![
+            RcDvq::spatial(Rect::new(0.0, 0.0, 40.0, 40.0)),
+            RcDvq::spatial(Rect::new(10.0, 10.0, 90.0, 20.0)),
+            RcDvq::keyword(vec![KeywordId(2)]),
+            RcDvq::keyword(vec![KeywordId(1), KeywordId(5)]),
+            RcDvq::hybrid(
+                Rect::new(0.0, 0.0, 50.0, 80.0),
+                vec![KeywordId(1), KeywordId(5)],
+            ),
+        ];
+        let many = r.estimate_batch(&batch);
+        for (q, b) in batch.iter().zip(many) {
+            assert_eq!(b.to_bits(), r.estimate(q).to_bits(), "diverged on {q:?}");
+        }
     }
 
     #[test]

@@ -219,6 +219,55 @@ impl SelectivityEstimator for ReservoirHash {
         matches as f64 / n as f64 * self.population as f64
     }
 
+    /// Batch variant preserving [`ReservoirHash::estimate`]'s per-query
+    /// routing exactly: queries the single path would answer from the
+    /// posting index (pure keyword, and posting-first hybrids under the
+    /// cost cutover) share one [`SampleStore::count_many`] call — one
+    /// union merge per common keyword set — while grid-routed queries
+    /// take the same grid gather the single path takes. Identical
+    /// routing + exact kernels ⇒ bit-equal results.
+    fn estimate_batch(&self, queries: &[RcDvq]) -> Vec<f64> {
+        if self.store.is_empty() {
+            return vec![0.0; queries.len()];
+        }
+        let n = self.store.len();
+        let mut store_routed: Vec<usize> = Vec::new();
+        let mut store_queries: Vec<RcDvq> = Vec::new();
+        let mut matches = vec![0usize; queries.len()];
+        for (i, q) in queries.iter().enumerate() {
+            match q.range() {
+                Some(r) => {
+                    let kws = q.keywords();
+                    let posting_first = !kws.is_empty()
+                        && self
+                            .store
+                            .posting_mass(kws)
+                            .is_some_and(|mass| mass * 4 < n);
+                    if posting_first {
+                        store_routed.push(i);
+                        store_queries.push(q.clone());
+                    } else {
+                        matches[i] = self.grid_count(q, r);
+                    }
+                }
+                None => {
+                    store_routed.push(i);
+                    store_queries.push(q.clone());
+                }
+            }
+        }
+        for (&i, c) in store_routed
+            .iter()
+            .zip(self.store.count_many(&store_queries))
+        {
+            matches[i] = c;
+        }
+        matches
+            .into_iter()
+            .map(|m| m as f64 / n as f64 * self.population as f64)
+            .collect()
+    }
+
     fn memory_bytes(&self) -> usize {
         // Every grid entry holds exactly one live slot, so the slot total
         // equals the sample length — no walk needed.
@@ -374,6 +423,34 @@ mod tests {
             for &s in slots {
                 assert_eq!(r.cell_of_slot(s), *cell, "slot in wrong cell");
             }
+        }
+    }
+
+    #[test]
+    fn estimate_batch_is_bit_equal_to_singles() {
+        let mut r = ReservoirHash::new(&config(256));
+        let mut seed = 13u64;
+        for i in 0..4_000 {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let x = (seed >> 11) as f64 / (1u64 << 53) as f64 * 64.0;
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let y = (seed >> 11) as f64 / (1u64 << 53) as f64 * 64.0;
+            // Keyword 9 is rare (posting-first hybrids), 0 is common
+            // (grid-routed hybrids under the cutover).
+            let kws: &[u32] = if i % 64 == 0 { &[0, 9] } else { &[0, i % 5] };
+            r.insert(&obj(i as u64, x, y, kws));
+        }
+        let batch = vec![
+            RcDvq::spatial(Rect::new(0.0, 0.0, 30.0, 30.0)),
+            RcDvq::spatial(Rect::new(12.5, 3.25, 60.0, 48.0)),
+            RcDvq::keyword(vec![KeywordId(3)]),
+            RcDvq::keyword(vec![KeywordId(9)]),
+            RcDvq::hybrid(Rect::new(0.0, 0.0, 40.0, 64.0), vec![KeywordId(9)]),
+            RcDvq::hybrid(Rect::new(0.0, 0.0, 40.0, 64.0), vec![KeywordId(0)]),
+        ];
+        let many = r.estimate_batch(&batch);
+        for (q, b) in batch.iter().zip(many) {
+            assert_eq!(b.to_bits(), r.estimate(q).to_bits(), "diverged on {q:?}");
         }
     }
 

@@ -423,18 +423,87 @@ impl SampleStore {
         for (cx, cy) in self.xs.chunks(CHUNK).zip(self.ys.chunks(CHUNK)) {
             let mut c = 0u32;
             for (&x, &y) in cx.iter().zip(cy.iter()) {
-                // LINT-ALLOW(as-truncation): bool casts to exactly 0 or 1: the branch-free membership kernel
-                c += (x >= r.min_x) as u32
-                    // LINT-ALLOW(as-truncation): bool casts to exactly 0 or 1
-                    & (x <= r.max_x) as u32
-                    // LINT-ALLOW(as-truncation): bool casts to exactly 0 or 1
-                    & (y >= r.min_y) as u32
-                    // LINT-ALLOW(as-truncation): bool casts to exactly 0 or 1
-                    & (y <= r.max_y) as u32;
+                c += u32::from(x >= r.min_x)
+                    & u32::from(x <= r.max_x)
+                    & u32::from(y >= r.min_y)
+                    & u32::from(y <= r.max_y);
             }
             total += c as usize;
         }
         total
+    }
+
+    /// Multi-rectangle variant of [`SampleStore::count_in_rect`]: one
+    /// streaming pass over the coordinate columns answers every
+    /// rectangle. Each `CHUNK`-slot block is resident in cache while all
+    /// rectangles test it, so the column traffic is paid once per batch
+    /// instead of once per query. Counts are identical to calling
+    /// `count_in_rect` per rectangle.
+    pub fn count_in_rects(&self, rects: &[Rect]) -> Vec<usize> {
+        let mut totals = vec![0usize; rects.len()];
+        for (cx, cy) in self.xs.chunks(CHUNK).zip(self.ys.chunks(CHUNK)) {
+            for (r, total) in rects.iter().zip(totals.iter_mut()) {
+                let mut c = 0u32;
+                for (&x, &y) in cx.iter().zip(cy.iter()) {
+                    c += u32::from(x >= r.min_x)
+                        & u32::from(x <= r.max_x)
+                        & u32::from(y >= r.min_y)
+                        & u32::from(y <= r.max_y);
+                }
+                *total += c as usize;
+            }
+        }
+        totals
+    }
+
+    /// Multi-query variant of [`SampleStore::count`]: answers the whole
+    /// batch with shared work — spatial-only queries ride one multi-rect
+    /// column pass ([`SampleStore::count_in_rects`]), and queries with a
+    /// common keyword set share a single posting-list union merge (each
+    /// member only pays its rectangle test per visited slot). Counts are
+    /// identical to calling `count` per query: every kernel is an exact
+    /// match count, so routing differences cannot change a result.
+    pub fn count_many(&self, queries: &[RcDvq]) -> Vec<usize> {
+        let mut counts = vec![0usize; queries.len()];
+        if self.is_empty() || queries.is_empty() {
+            return counts;
+        }
+        let mut rect_queries: Vec<usize> = Vec::new();
+        let mut rects: Vec<Rect> = Vec::new();
+        let mut kw_groups: HashMap<&[KeywordId], Vec<usize>> = HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            match q.range() {
+                Some(r) if q.keywords().is_empty() => {
+                    rect_queries.push(i);
+                    rects.push(*r);
+                }
+                _ => kw_groups.entry(q.keywords()).or_default().push(i),
+            }
+        }
+        if !rects.is_empty() {
+            for (&i, c) in rect_queries.iter().zip(self.count_in_rects(&rects)) {
+                counts[i] = c;
+            }
+        }
+        for (kws, members) in kw_groups {
+            if self.postings.is_some() {
+                // One union merge serves every query with this keyword
+                // set; per visited slot each member only tests its rect.
+                self.for_each_union_slot(kws, |s| {
+                    for &i in &members {
+                        match queries[i].range() {
+                            Some(r) => counts[i] += self.slot_in_rect(s, r) as usize,
+                            None => counts[i] += 1,
+                        }
+                    }
+                });
+            } else {
+                for &i in &members {
+                    counts[i] = self.count(&queries[i]);
+                }
+            }
+        }
+        counts
     }
 
     /// Gather variant of the spatial kernel for externally indexed slot
@@ -873,6 +942,53 @@ mod tests {
             assert_eq!(s.count(q), brute);
         }
         assert!(s.compactions() > 0, "churn never compacted a posting list");
+    }
+
+    #[test]
+    fn count_many_agrees_with_per_query_count() {
+        for with_postings in [true, false] {
+            let mut s = SampleStore::new(with_postings);
+            let mut rng = 0x5eedu64;
+            for i in 0..2_500u64 {
+                let x = (lcg(&mut rng) % 1_000) as f64 / 10.0;
+                let y = (lcg(&mut rng) % 1_000) as f64 / 10.0;
+                let nk = (lcg(&mut rng) % 4) as usize;
+                let kws: Vec<u32> = (0..nk).map(|_| (lcg(&mut rng) % 8) as u32).collect();
+                s.push(&obj(i, x, y, &kws));
+                if i % 3 == 0 && s.len() > 100 {
+                    let victim = s.oids()[(lcg(&mut rng) as usize) % s.len()];
+                    s.remove(victim);
+                }
+            }
+            // A batch mixing all three types, duplicate signatures, and
+            // shared keyword sets (the shared-merge path).
+            let batch = vec![
+                RcDvq::spatial(Rect::new(10.0, 10.0, 60.0, 55.0)),
+                RcDvq::spatial(Rect::new(0.0, 0.0, 100.0, 100.0)),
+                RcDvq::spatial(Rect::new(10.0, 10.0, 60.0, 55.0)),
+                RcDvq::keyword(vec![KeywordId(3)]),
+                RcDvq::keyword(vec![KeywordId(1), KeywordId(4)]),
+                RcDvq::hybrid(
+                    Rect::new(0.0, 0.0, 45.0, 90.0),
+                    vec![KeywordId(1), KeywordId(4)],
+                ),
+                RcDvq::hybrid(
+                    Rect::new(20.0, 5.0, 80.0, 70.0),
+                    vec![KeywordId(1), KeywordId(4)],
+                ),
+                RcDvq::hybrid(Rect::new(20.0, 5.0, 80.0, 70.0), vec![KeywordId(6)]),
+                RcDvq::keyword(vec![KeywordId(31)]), // absent keyword
+            ];
+            let many = s.count_many(&batch);
+            let singles: Vec<usize> = batch.iter().map(|q| s.count(q)).collect();
+            assert_eq!(
+                many, singles,
+                "count_many diverged (postings={with_postings})"
+            );
+        }
+        // Empty store: all zeros.
+        let s = SampleStore::new(true);
+        assert_eq!(s.count_many(&[RcDvq::keyword(vec![KeywordId(0)])]), vec![0]);
     }
 
     #[test]

@@ -222,6 +222,20 @@ pub trait SelectivityEstimator: Send {
     #[must_use = "an estimate is a pure read; discarding it wastes the traversal"]
     fn estimate(&self, query: &RcDvq) -> f64;
 
+    /// Estimates a batch of queries in one call.
+    ///
+    /// Must be *value-equivalent* to mapping [`estimate`] over `queries`
+    /// in order — bit-identical `f64`s, since `estimate` is a pure read —
+    /// so overrides may only amortize shared work across the batch (one
+    /// column pass answering many rectangles, one posting-list merge
+    /// shared by queries with common keywords), never change a result.
+    ///
+    /// [`estimate`]: SelectivityEstimator::estimate
+    #[must_use = "estimates are pure reads; discarding them wastes the traversal"]
+    fn estimate_batch(&self, queries: &[RcDvq]) -> Vec<f64> {
+        queries.iter().map(|q| self.estimate(q)).collect()
+    }
+
     /// Feedback after the query executed on actual data: the true
     /// selectivity from the system logs. Default: ignored.
     fn observe_query(&mut self, _query: &RcDvq, _actual: u64) {}

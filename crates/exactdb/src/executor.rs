@@ -282,12 +282,75 @@ impl ExactExecutor {
             }
             AccessPath::Inverted => {
                 self.inverted_hits.inc();
-                self.inverted
-                    .count(query, &self.store)
-                    // LINT-ALLOW(no-panic): the planner returns Inverted only for keyword-bearing queries
-                    .expect("planner only routes keyword-bearing queries here")
+                self.inverted_count(query)
             }
         }
+    }
+
+    /// The inverted-path count behind its planner precondition: the
+    /// cost-based planner only routes keyword-bearing queries here.
+    fn inverted_count(&self, query: &RcDvq) -> u64 {
+        self.inverted
+            .count(query, &self.store)
+            // LINT-ALLOW(no-panic): the planner returns Inverted only for keyword-bearing queries
+            .expect("planner only routes keyword-bearing queries here")
+    }
+
+    /// Executes a batch of queries, returning each exact selectivity in
+    /// input order.
+    ///
+    /// Answer- and counter-equivalent to calling
+    /// [`ExactExecutor::execute`] once per query — identical counts, and
+    /// one per-path counter increment per *input* query — but amortized:
+    /// the cost-based planner runs once per distinct query (duplicates
+    /// inherit the plan and share a single index count, since the
+    /// planner and counts are pure reads of unchanging state), and the
+    /// distinct queries run grouped by access path so each index's
+    /// working set stays hot across its group.
+    pub fn execute_batch(&self, queries: &[RcDvq]) -> Vec<u64> {
+        use std::collections::HashMap;
+        let mut results = vec![0u64; queries.len()];
+        // signature → distinct first occurrences with that signature
+        // (nearly always one; equality-checked so a 64-bit hash
+        // collision can never alias two different queries).
+        let mut first_of: HashMap<u64, Vec<usize>> = HashMap::with_capacity(queries.len());
+        let mut dup_of: Vec<usize> = (0..queries.len()).collect();
+        let mut plan_of: Vec<AccessPath> = Vec::with_capacity(queries.len());
+        let mut spatial_group: Vec<usize> = Vec::new();
+        let mut inverted_group: Vec<usize> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let firsts = first_of.entry(q.signature().0).or_default();
+            if let Some(&fi) = firsts.iter().find(|&&fi| queries[fi] == *q) {
+                dup_of[i] = fi;
+                plan_of.push(plan_of[fi]);
+            } else {
+                firsts.push(i);
+                let plan = self.plan(q);
+                plan_of.push(plan);
+                match plan {
+                    AccessPath::Spatial => spatial_group.push(i),
+                    AccessPath::Inverted => inverted_group.push(i),
+                }
+            }
+        }
+        for plan in &plan_of {
+            match plan {
+                AccessPath::Spatial => self.spatial_hits.inc(),
+                AccessPath::Inverted => self.inverted_hits.inc(),
+            }
+        }
+        for &i in &spatial_group {
+            results[i] = self.backend.count(&queries[i], &self.store);
+        }
+        for &i in &inverted_group {
+            results[i] = self.inverted_count(&queries[i]);
+        }
+        for i in 0..queries.len() {
+            if dup_of[i] != i {
+                results[i] = results[dup_of[i]];
+            }
+        }
+        results
     }
 
     /// Executes strictly through the spatial backend (even for hybrid
@@ -524,6 +587,38 @@ mod tests {
             RcDvq::hybrid(Rect::new(10.0, 0.0, 80.0, 30.0), vec![KeywordId(1)]),
         ] {
             assert_eq!(single.execute(&q), batched.execute(&q));
+        }
+    }
+
+    /// `execute_batch` returns the same answers and drives the same
+    /// per-path counters as one-at-a-time execution, on every backend,
+    /// including duplicate queries inside the batch.
+    #[test]
+    fn execute_batch_matches_singles_and_counters() {
+        for kind in [
+            SpatialIndexKind::Grid,
+            SpatialIndexKind::Quadtree,
+            SpatialIndexKind::RTree,
+        ] {
+            let mut e = ExactExecutor::new(DOMAIN, kind);
+            populate(&mut e);
+            let batch = vec![
+                RcDvq::spatial(Rect::new(10.0, 0.0, 42.0, 30.0)),
+                RcDvq::keyword(vec![KeywordId(3), KeywordId(7)]),
+                RcDvq::hybrid(Rect::new(0.0, 0.0, 50.0, 50.0), vec![KeywordId(1)]),
+                // Duplicates: shared count, separate counter increments.
+                RcDvq::spatial(Rect::new(10.0, 0.0, 42.0, 30.0)),
+                RcDvq::keyword(vec![KeywordId(3), KeywordId(7)]),
+                RcDvq::hybrid(Rect::new(0.0, 0.0, 100.0, 100.0), vec![KeywordId(9)]),
+            ];
+            e.reset_path_mix();
+            let singles: Vec<u64> = batch.iter().map(|q| e.execute(q)).collect();
+            let singles_mix = e.path_mix();
+            e.reset_path_mix();
+            let batched = e.execute_batch(&batch);
+            assert_eq!(batched, singles, "{kind:?} answers diverged");
+            assert_eq!(e.path_mix(), singles_mix, "{kind:?} counters diverged");
+            assert_eq!(e.path_mix().total(), batch.len() as u64);
         }
     }
 

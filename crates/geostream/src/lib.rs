@@ -34,7 +34,7 @@ pub use audit::AuditError;
 pub use geometry::{Point, Rect};
 pub use object::{GeoTextObject, ObjectId};
 pub use obsv::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use query::{QueryType, RcDvq};
+pub use query::{QuerySignature, QueryType, RcDvq};
 pub use time::{Duration, Timestamp};
 pub use vocab::{KeywordId, Vocabulary};
 pub use window::SlidingWindow;

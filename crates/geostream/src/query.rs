@@ -46,6 +46,31 @@ impl QueryType {
     pub const COUNT: u32 = 3;
 }
 
+/// Stable identity hash of a query's predicates: equal queries (same
+/// range bits, same sorted keyword set, same [`QueryType`]) always hash
+/// to the same signature, across runs and platforms. Selectivity caches
+/// key on `(QuerySignature, window generation)`.
+///
+/// The hash is FNV-1a over a type tag, the rectangle's raw `f64` bits,
+/// and the sorted keyword ids — no floating-point comparison semantics
+/// are involved, so `-0.0` and `0.0` rectangles are distinct (they are
+/// distinct predicates bit-wise, and a cache miss is always safe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuerySignature(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// A Range-Counting Distinct-Value estimation query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RcDvq {
@@ -105,6 +130,23 @@ impl RcDvq {
             (true, false) => QueryType::Hybrid,
             (false, true) => unreachable!("constructor forbids empty query"),
         }
+    }
+
+    /// Stable content hash of the query's predicates (see
+    /// [`QuerySignature`]). Deterministic across runs: the constructor
+    /// sorts and dedups keywords, so equal predicate sets always produce
+    /// equal signatures.
+    pub fn signature(&self) -> QuerySignature {
+        let mut h = fnv1a(FNV_OFFSET, &[self.query_type().index() as u8]);
+        if let Some(r) = &self.range {
+            for v in [r.min_x, r.min_y, r.max_x, r.max_y] {
+                h = fnv1a(h, &v.to_bits().to_le_bytes());
+            }
+        }
+        for kw in &self.keywords {
+            h = fnv1a(h, &kw.0.to_le_bytes());
+        }
+        QuerySignature(h)
     }
 
     /// Whether `obj` satisfies both predicates (the exact-match test used by
@@ -184,6 +226,33 @@ mod tests {
         assert!(q.matches(&obj(0.5, 0.5, &[7])));
         assert!(!q.matches(&obj(0.5, 0.5, &[8])));
         assert!(!q.matches(&obj(5.0, 0.5, &[7])));
+    }
+
+    #[test]
+    fn signatures_are_stable_and_discriminating() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let a = RcDvq::hybrid(r, vec![KeywordId(3), KeywordId(1)]);
+        let b = RcDvq::hybrid(r, vec![KeywordId(1), KeywordId(3), KeywordId(3)]);
+        // Same predicate set (order/dup-insensitive) → same signature.
+        assert_eq!(a.signature(), b.signature());
+        // Different type, range, or keyword set → different signatures.
+        assert_ne!(RcDvq::spatial(r).signature(), a.signature());
+        assert_ne!(
+            RcDvq::keyword(vec![KeywordId(1), KeywordId(3)]).signature(),
+            a.signature()
+        );
+        assert_ne!(
+            RcDvq::hybrid(
+                Rect::new(0.0, 0.0, 1.0, 2.0),
+                vec![KeywordId(1), KeywordId(3)]
+            )
+            .signature(),
+            a.signature()
+        );
+        assert_ne!(
+            RcDvq::hybrid(r, vec![KeywordId(1)]).signature(),
+            a.signature()
+        );
     }
 
     #[test]

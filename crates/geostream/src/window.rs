@@ -20,6 +20,11 @@ pub struct SlidingWindow {
     buf: VecDeque<GeoTextObject>,
     /// Most recent clock value observed, used to validate monotonicity.
     now: Timestamp,
+    /// Content-change counter: bumped whenever the live set changes
+    /// (insert, eviction sweep, clear). Selectivity caches key answers
+    /// on `(QuerySignature, generation)`, so any content change makes
+    /// every prior cached answer unreachable.
+    generation: u64,
 }
 
 impl SlidingWindow {
@@ -29,7 +34,15 @@ impl SlidingWindow {
             span,
             buf: VecDeque::new(),
             now: Timestamp::ZERO,
+            generation: 0,
         }
+    }
+
+    /// The content-change generation: increases (by at least one) every
+    /// time the live object set changes. Two calls returning the same
+    /// value guarantee the window contents were identical in between.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The configured window span `T`.
@@ -69,6 +82,7 @@ impl SlidingWindow {
         }
         self.now = self.now.max(obj.timestamp);
         self.buf.push_back(obj);
+        self.generation += 1;
         self.evict_expired(evicted);
     }
 
@@ -97,6 +111,7 @@ impl SlidingWindow {
             }
             self.now = self.now.max(obj.timestamp);
             self.buf.push_back(obj);
+            self.generation += 1;
         }
         self.evict_expired(evicted);
     }
@@ -115,14 +130,17 @@ impl SlidingWindow {
 
     fn evict_expired(&mut self, evicted: &mut Vec<GeoTextObject>) {
         let horizon = self.horizon();
+        let mut swept = 0u64;
         while let Some(front) = self.buf.front() {
             if front.timestamp < horizon {
                 // LINT-ALLOW(no-panic): the loop condition checked the front element before this pop
                 evicted.push(self.buf.pop_front().expect("front checked"));
+                swept += 1;
             } else {
                 break;
             }
         }
+        self.generation += swept;
     }
 
     /// Iterates over the live objects, oldest first.
@@ -136,10 +154,13 @@ impl SlidingWindow {
         self.buf.as_slices()
     }
 
-    /// Removes every object and resets the clock to zero.
+    /// Removes every object and resets the clock to zero. The generation
+    /// still advances — cached answers against the old contents must not
+    /// resurface against the emptied window.
     pub fn clear(&mut self) {
         self.buf.clear();
         self.now = Timestamp::ZERO;
+        self.generation += 1;
     }
 }
 
@@ -295,6 +316,28 @@ mod tests {
         }
         let (a, b) = w.as_slices();
         assert_eq!(a.len() + b.len(), w.len());
+    }
+
+    #[test]
+    fn generation_advances_on_every_content_change() {
+        let mut w = SlidingWindow::new(Duration(100));
+        let mut ev = Vec::new();
+        let g0 = w.generation();
+        // Advancing the clock without evicting anything changes nothing.
+        w.advance_to(Timestamp(50), &mut ev);
+        assert_eq!(w.generation(), g0);
+        // Inserts change the contents.
+        w.insert(obj(1, 60), &mut ev);
+        let g1 = w.generation();
+        assert!(g1 > g0);
+        // Eviction sweeps change the contents even without an insert.
+        w.advance_to(Timestamp(300), &mut ev);
+        assert_eq!(ev.len(), 1);
+        let g2 = w.generation();
+        assert!(g2 > g1);
+        // clear() always advances, even when already empty of interest.
+        w.clear();
+        assert!(w.generation() > g2);
     }
 
     #[test]

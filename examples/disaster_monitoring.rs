@@ -13,7 +13,7 @@
 
 use geostream::synth::DatasetSpec;
 use geostream::{Duration, GeoTextObject, KeywordId, ObjectId, Point, RcDvq, Rect};
-use latest_core::{Latest, LatestConfig, PhaseTag};
+use latest_core::{Latest, LatestConfig, PhaseTag, QueryOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -57,7 +57,7 @@ fn main() {
         } else {
             RcDvq::spatial(affected)
         };
-        let _ = latest.query(&q, latest.now());
+        let _ = latest.query(&q, QueryOptions::new());
         n += 1;
     }
 
@@ -86,7 +86,7 @@ fn main() {
                 latest.ingest(obj);
             }
         }
-        let out = latest.query(&RcDvq::hybrid(affected, vec![FIRE]), latest.now());
+        let out = latest.query(&RcDvq::hybrid(affected, vec![FIRE]), QueryOptions::new());
         println!(
             "{minute:>6}  {:>13.0}  {:>6}  {:>8.2}  {}{}",
             out.estimate,

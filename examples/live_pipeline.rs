@@ -10,7 +10,7 @@ use estimators::EstimatorConfig;
 use geostream::synth::DatasetSpec;
 use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
 use latest_core::concurrent::StreamPipeline;
-use latest_core::{LatestConfig, PhaseTag};
+use latest_core::{LatestConfig, PhaseTag, QueryOptions};
 
 fn main() {
     let dataset = DatasetSpec::twitter();
@@ -56,7 +56,9 @@ fn main() {
             1 => RcDvq::keyword(vec![KeywordId(i % 40)]),
             _ => RcDvq::hybrid(area, vec![KeywordId(i % 40)]),
         };
-        let _ = handle.query(&q).expect("pipeline is live");
+        let _ = handle
+            .query(&q, QueryOptions::new())
+            .expect("pipeline is live");
         i += 1;
     }
     println!("pre-training finished after {i} queries; serving clients…\n");
@@ -86,7 +88,10 @@ fn main() {
                 } else {
                     RcDvq::hybrid(area, vec![KeywordId((t * 53 + i) % 40)])
                 };
-                acc_sum += handle.query(&q).expect("pipeline is live").accuracy;
+                acc_sum += handle
+                    .query(&q, QueryOptions::new())
+                    .expect("pipeline is live")
+                    .accuracy;
             }
             (t, acc_sum / queries as f64)
         }));

@@ -7,7 +7,7 @@
 
 use geostream::synth::DatasetSpec;
 use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
-use latest_core::{Latest, LatestConfig, PhaseTag};
+use latest_core::{Latest, LatestConfig, PhaseTag, QueryOptions};
 
 fn main() {
     // A Twitter-like synthetic stream: hotspot-clustered geotagged posts
@@ -58,7 +58,7 @@ fn main() {
             1 => RcDvq::keyword(vec![KeywordId(qn % 50)]),
             _ => RcDvq::hybrid(downtown, vec![KeywordId(qn % 50)]),
         };
-        let _ = latest.query(&query, latest.now());
+        let _ = latest.query(&query, QueryOptions::new());
         qn += 1;
     }
     println!(
@@ -73,7 +73,7 @@ fn main() {
             latest.ingest(objects.next_object());
         }
         let query = RcDvq::hybrid(downtown, vec![KeywordId(i % 20)]);
-        let out = latest.query(&query, latest.now());
+        let out = latest.query(&query, QueryOptions::new());
         if i % 50 == 0 {
             println!(
                 "q{i:>3} [{}] estimate={:>8.1} actual={:>6} accuracy={:.2} latency={:.3}ms",

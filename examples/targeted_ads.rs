@@ -15,7 +15,7 @@ use geostream::synth::DatasetSpec;
 #[allow(unused_imports)]
 use geostream::synth::KeywordModel;
 use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
-use latest_core::{Latest, LatestConfig, PhaseTag};
+use latest_core::{Latest, LatestConfig, PhaseTag, QueryOptions};
 use rand::SeedableRng;
 
 fn main() {
@@ -67,7 +67,7 @@ fn main() {
         let (_, x, y) = metros[i % metros.len()];
         let kw = keyword_model.sample_keywords(&mut rng, latest.now(), 1)[0];
         let area = Rect::centered_clamped(Point::new(x, y), 1.5, 1.2, &dataset.domain);
-        let _ = latest.query(&RcDvq::hybrid(area, vec![kw]), latest.now());
+        let _ = latest.query(&RcDvq::hybrid(area, vec![kw]), QueryOptions::new());
         i += 1;
     }
 
@@ -107,7 +107,7 @@ fn main() {
         let mut rows = Vec::new();
         for (name, x, y) in &metros {
             let area = Rect::centered_clamped(Point::new(*x, *y), 1.5, 1.2, &dataset.domain);
-            let out = latest.query(&RcDvq::hybrid(area, vec![*kw]), latest.now());
+            let out = latest.query(&RcDvq::hybrid(area, vec![*kw]), QueryOptions::new());
             rows.push((*name, out.estimate, out.actual, out.estimator));
             // Keep the stream moving between queries.
             for _ in 0..200 {

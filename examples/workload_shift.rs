@@ -12,7 +12,7 @@
 use estimators::EstimatorKind;
 use geostream::synth::DatasetSpec;
 use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
-use latest_core::{Latest, LatestConfig, PhaseTag};
+use latest_core::{Latest, LatestConfig, PhaseTag, QueryOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -60,7 +60,7 @@ fn main() {
         } else {
             RcDvq::keyword(vec![KeywordId(rng.gen_range(0..40))])
         };
-        let _ = latest.query(&q, latest.now());
+        let _ = latest.query(&q, QueryOptions::new());
         n += 1;
     }
 
@@ -101,7 +101,7 @@ fn main() {
         if i == 120 {
             println!("\nphase 2: workload flips to pure keyword queries\n");
         }
-        let out = latest.query(&q, latest.now());
+        let out = latest.query(&q, QueryOptions::new());
         if i % 20 == 0 || out.switched {
             print_row(i, &latest, out.accuracy, out.switched);
         }

@@ -4,7 +4,7 @@
 use estimators::{EstimatorConfig, EstimatorKind};
 use geostream::synth::DatasetSpec;
 use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
-use latest_core::{Latest, LatestConfig, PhaseTag};
+use latest_core::{Latest, LatestConfig, PhaseTag, QueryOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,7 +56,7 @@ fn full_lifecycle_reaches_incremental_phase() {
         } else {
             RcDvq::keyword(vec![KeywordId(rng.gen_range(0..40))])
         };
-        let out = latest.query(&q, gen.clock());
+        let out = latest.query(&q, QueryOptions::at(gen.clock()));
         assert!(out.estimate >= 0.0);
         assert!(out.latency_ms >= 0.0);
         assert!((0.0..=1.0).contains(&out.accuracy));
@@ -85,7 +85,7 @@ fn keyword_flood_forces_histogram_abandonment() {
             latest.ingest(gen.next_object());
         }
         let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..30))]);
-        let _ = latest.query(&q, gen.clock());
+        let _ = latest.query(&q, QueryOptions::at(gen.clock()));
         if latest.phase() == PhaseTag::Incremental && latest.active_kind() != EstimatorKind::H4096 {
             break;
         }
@@ -124,7 +124,7 @@ fn estimates_track_ground_truth_on_stable_workload() {
         }
         let c = hotspots[i % hotspots.len()];
         let q = RcDvq::spatial(Rect::centered_clamped(c, 1.5, 1.5, &dataset.domain));
-        let out = latest.query(&q, gen.clock());
+        let out = latest.query(&q, QueryOptions::at(gen.clock()));
         if out.phase == PhaseTag::Incremental {
             accuracies.push(out.accuracy);
         }
@@ -148,7 +148,7 @@ fn log_is_complete_and_ordered() {
             latest.ingest(gen.next_object());
         }
         let q = RcDvq::keyword(vec![KeywordId(rng.gen_range(0..100))]);
-        let _ = latest.query(&q, gen.clock());
+        let _ = latest.query(&q, QueryOptions::at(gen.clock()));
     }
     let log = latest.log();
     assert_eq!(log.queries.len(), total);
@@ -182,6 +182,6 @@ fn window_executor_and_estimators_stay_in_sync() {
     // query over the whole domain must agree with the window size.
     assert!(latest.window_len() < 8_000);
     let q = RcDvq::spatial(dataset.domain);
-    let out = latest.query(&q, gen.clock());
+    let out = latest.query(&q, QueryOptions::at(gen.clock()));
     assert_eq!(out.actual as usize, latest.window_len());
 }

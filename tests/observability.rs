@@ -6,7 +6,7 @@
 use estimators::{EstimatorConfig, EstimatorKind};
 use geostream::synth::DatasetSpec;
 use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
-use latest_core::{EstimatorRole, Latest, LatestConfig, LifecycleEvent, PhaseTag};
+use latest_core::{EstimatorRole, Latest, LatestConfig, LifecycleEvent, PhaseTag, QueryOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,7 +62,7 @@ fn switch_storm_events_match_system_log() {
     for _ in 0..20 {
         latest.ingest(gen.next_object());
         let q = keyword_query(&mut rng);
-        let _ = latest.query(&q, gen.clock());
+        let _ = latest.query(&q, QueryOptions::at(gen.clock()));
     }
     assert_eq!(latest.phase(), PhaseTag::Incremental);
     assert_eq!(latest.active_kind(), EstimatorKind::H4096);
@@ -80,7 +80,7 @@ fn switch_storm_events_match_system_log() {
         } else {
             spatial_query(&mut rng, &dataset.domain)
         };
-        let _ = latest.query(&q, gen.clock());
+        let _ = latest.query(&q, QueryOptions::at(gen.clock()));
 
         let logged = latest.log().switches.len();
         if logged > switches_seen {
@@ -195,7 +195,7 @@ fn snapshot_covers_every_subsystem() {
                 vec![KeywordId(rng.gen_range(0..40))],
             ),
         };
-        let _ = latest.query(&q, gen.clock());
+        let _ = latest.query(&q, QueryOptions::at(gen.clock()));
     }
     assert_eq!(latest.phase(), PhaseTag::Incremental);
 

@@ -8,7 +8,7 @@
 use estimators::EstimatorConfig;
 use geostream::synth::DatasetSpec;
 use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
-use latest_core::{Latest, LatestConfig, PhaseTag, QueryOutcome};
+use latest_core::{Latest, LatestConfig, PhaseTag, QueryOptions, QueryOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,7 +72,7 @@ fn run(pool_workers: usize) -> (Vec<QueryOutcome>, Latest) {
                 vec![KeywordId(rng.gen_range(0..40))],
             ),
         };
-        outcomes.push(latest.query(&q, gen.clock()));
+        outcomes.push(latest.query(&q, QueryOptions::at(gen.clock())));
     }
     (outcomes, latest)
 }
