@@ -140,6 +140,18 @@ pub mod channel {
             self.chan.not_empty.notify_one();
             Ok(())
         }
+
+        pub fn is_empty(&self) -> bool {
+            self.chan.state.lock().unwrap().queue.is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().queue.len()
+        }
+
+        pub fn capacity(&self) -> Option<usize> {
+            self.chan.cap
+        }
     }
 
     impl<T> Receiver<T> {

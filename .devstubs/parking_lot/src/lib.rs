@@ -86,13 +86,25 @@ impl Condvar {
         0
     }
 
-    pub fn wait<T: ?Sized>(&self, _guard: &mut MutexGuard<'_, T>) {
-        // std's API consumes the guard; emulate in place via raw replace.
-        // Safe pattern: we cannot move out of &mut, so use the blocking
-        // wait on a temporary by swapping through Option is not possible
-        // here — instead this stub only supports wait via `wait_while`
-        // style usage below.
-        unimplemented!("stub Condvar::wait with &mut guard is unsupported; use std Condvar")
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // parking_lot waits through `&mut guard`; std's wait consumes the
+        // guard and hands it back. Bridge the two by moving the guard out
+        // and writing std's returned guard straight back in.
+        //
+        // SAFETY: `ptr::read` duplicates the guard; the original slot is
+        // dead until `ptr::write` repopulates it. Between the two, the
+        // only code that runs is std's `wait`, whose error branch still
+        // returns the guard (poison is ignored like everywhere in this
+        // stub), so exactly one live guard exists on every path and the
+        // slot is always rewritten before `wait` returns.
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let back = match self.0.wait(taken) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            std::ptr::write(guard, back);
+        }
     }
 }
 

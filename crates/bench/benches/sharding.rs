@@ -1,0 +1,117 @@
+//! Criterion macro-benchmark: scatter-gather serving through
+//! [`ShardedLatest`] against the unsharded [`Latest`] baseline on the
+//! same mixed stream, isolating what sharding buys (parallel exact
+//! scans, parallel estimator upkeep) and what it costs (one channel hop
+//! per batch, the gather barrier per query).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estimators::{EstimatorConfig, EstimatorKind};
+use geostream::synth::DatasetSpec;
+use geostream::{Duration, KeywordId, Point, RcDvq, Rect};
+use latest_core::{
+    AblationConfig, Latest, LatestConfig, QueryOptions, RouterPolicy, ShardConfig, ShardedLatest,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const INGEST_BATCH: usize = 256;
+const QUERY_BATCH: usize = 16;
+
+fn config(dataset: &DatasetSpec, shards: usize) -> LatestConfig {
+    LatestConfig::builder()
+        .window_span(Duration::from_secs(30))
+        .warmup(Duration::from_secs(10))
+        .pretrain_queries(12)
+        .default_estimator(EstimatorKind::Rsh)
+        .ablation(AblationConfig {
+            switching: false,
+            ..AblationConfig::default()
+        })
+        .estimator_config(EstimatorConfig {
+            domain: dataset.domain,
+            reservoir_capacity: 2_048,
+            ..EstimatorConfig::default()
+        })
+        .shard(ShardConfig {
+            shards,
+            queue_capacity: 8_192,
+            router: RouterPolicy::HashOid,
+        })
+        .build()
+        .expect("bench parameters are in range")
+}
+
+fn mixed_query(rng: &mut StdRng, domain: &Rect) -> RcDvq {
+    let cx = rng.gen_range(domain.min_x..domain.max_x);
+    let cy = rng.gen_range(domain.min_y..domain.max_y);
+    let rect = Rect::centered_clamped(Point::new(cx, cy), 3.0, 2.5, domain);
+    match rng.gen_range(0..3) {
+        0 => RcDvq::spatial(rect),
+        1 => RcDvq::keyword(vec![KeywordId(rng.gen_range(0..40))]),
+        _ => RcDvq::hybrid(rect, vec![KeywordId(rng.gen_range(0..40))]),
+    }
+}
+
+fn bench_sharded_serving(c: &mut Criterion) {
+    let dataset = DatasetSpec::twitter();
+    let mut group = c.benchmark_group("latest_sharding");
+    group.sample_size(10);
+
+    for shards in [1usize, 2, 4] {
+        let engine = ShardedLatest::new(config(&dataset, shards)).expect("shards spawn");
+        let mut gen = dataset.generator();
+        // Prime past warm-up so the measured loop is steady-state.
+        while gen.clock().0 < 12_000 {
+            let batch: Vec<_> = (0..INGEST_BATCH).map(|_| gen.next_object()).collect();
+            engine.ingest_batch(&batch).expect("shards are live");
+        }
+        let mut rng = StdRng::seed_from_u64(0x5A4D);
+        group.bench_function(format!("ingest_256_x{shards}"), |b| {
+            b.iter(|| {
+                let batch: Vec<_> = (0..INGEST_BATCH).map(|_| gen.next_object()).collect();
+                engine.ingest_batch(&batch).expect("shards are live");
+                engine.flush().expect("shards are live");
+            });
+        });
+        group.bench_function(format!("query_16_x{shards}"), |b| {
+            b.iter(|| {
+                let batch: Vec<_> = (0..QUERY_BATCH)
+                    .map(|_| mixed_query(&mut rng, &dataset.domain))
+                    .collect();
+                let outs = engine
+                    .query_batch(&batch, QueryOptions::at(gen.clock()))
+                    .expect("shards are live");
+                std::hint::black_box(outs.len())
+            });
+        });
+        engine.shutdown();
+    }
+
+    // The unsharded control on the same stream shape.
+    let mut latest = Latest::new(config(&dataset, 1));
+    let mut gen = dataset.generator();
+    while gen.clock().0 < 12_000 {
+        let batch: Vec<_> = (0..INGEST_BATCH).map(|_| gen.next_object()).collect();
+        latest.ingest_batch(&batch);
+    }
+    let mut rng = StdRng::seed_from_u64(0x5A4D);
+    group.bench_function("ingest_256_unsharded", |b| {
+        b.iter(|| {
+            let batch: Vec<_> = (0..INGEST_BATCH).map(|_| gen.next_object()).collect();
+            latest.ingest_batch(&batch);
+        });
+    });
+    group.bench_function("query_16_unsharded", |b| {
+        b.iter(|| {
+            let batch: Vec<_> = (0..QUERY_BATCH)
+                .map(|_| mixed_query(&mut rng, &dataset.domain))
+                .collect();
+            let outs = latest.query_batch(&batch, QueryOptions::at(gen.clock()));
+            std::hint::black_box(outs.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_serving);
+criterion_main!(benches);

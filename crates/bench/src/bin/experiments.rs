@@ -77,6 +77,13 @@ fn main() {
             die(&format!("cannot write {path}: {e}"));
         }
         eprintln!("wrote {path}");
+        let report = latest_bench::sharding_bench::run(scale);
+        print!("{}", report.render_text());
+        let path = "BENCH_sharding.json";
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote {path}");
         return;
     }
     if targets.is_empty() {

@@ -510,6 +510,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "estimator-bench",
     "obsv-bench",
     "batching-bench",
+    "sharding-bench",
 ];
 
 /// Runs one experiment by id.
@@ -534,6 +535,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<String> {
         "estimator-bench" => crate::estimator_bench::run(scale).render_text(),
         "obsv-bench" => crate::obsv_bench::run(scale).render_text(),
         "batching-bench" => crate::batching_bench::run(scale).render_text(),
+        "sharding-bench" => crate::sharding_bench::run(scale).render_text(),
         _ => return None,
     })
 }
@@ -560,7 +562,7 @@ mod tests {
     #[test]
     fn run_by_name_dispatch() {
         assert!(run_by_name("unknown", Scale::default()).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 19);
+        assert_eq!(ALL_EXPERIMENTS.len(), 20);
     }
 
     #[test]

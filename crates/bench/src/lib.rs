@@ -25,5 +25,6 @@ pub mod exact_bench;
 pub mod experiments;
 pub mod obsv_bench;
 pub mod report;
+pub mod sharding_bench;
 
 pub use driver::{run_workload, run_workload_with_default, DriverConfig, RunResult};

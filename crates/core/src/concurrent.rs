@@ -388,6 +388,24 @@ impl SnapshotScraper {
         every: std::time::Duration,
         capacity: usize,
     ) -> Result<Self, LatestError> {
+        Self::spawn_source(
+            move || handle.is_open().then(|| handle.metrics_snapshot()),
+            every,
+            capacity,
+        )
+    }
+
+    /// Spawns a scraper over an arbitrary snapshot source — a
+    /// [`SharedLatest`] behind a pipeline, a sharded engine's merged view
+    /// ([`ShardedLatest::spawn_scraper`](crate::ShardedLatest::spawn_scraper)),
+    /// or anything else that can produce a [`MetricsSnapshot`] on demand.
+    /// `source` returning `None` means the backing system has shut down,
+    /// which stops the scrape loop for good.
+    pub fn spawn_source(
+        source: impl Fn() -> Option<MetricsSnapshot> + Send + 'static,
+        every: std::time::Duration,
+        capacity: usize,
+    ) -> Result<Self, LatestError> {
         let (snap_tx, snap_rx) = bounded::<MetricsSnapshot>(capacity.max(1));
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let thread = std::thread::Builder::new()
@@ -402,10 +420,9 @@ impl SnapshotScraper {
                         }
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                     }
-                    if !handle.is_open() {
+                    let Some(snap) = source() else {
                         return taken;
-                    }
-                    let snap = handle.metrics_snapshot();
+                    };
                     taken += 1;
                     // A full channel drops the snapshot instead of blocking:
                     // the scrape cadence must never be hostage to a slow

@@ -50,6 +50,15 @@ pub enum ConfigError {
     /// The embedded [`EstimatorConfig`](estimators::EstimatorConfig)
     /// failed its own validation (degenerate domain, zero capacities, ...).
     Estimator(estimators::EstimateError),
+    /// A sharded engine needs at least one shard.
+    ZeroShardCount,
+    /// The shard count exceeds [`MAX_SHARDS`](crate::MAX_SHARDS) — almost
+    /// certainly a units mistake, and each shard is a full `Latest` with
+    /// its own worker thread.
+    ExcessiveShardCount(usize),
+    /// Shard command queues must be able to hold at least one command,
+    /// or every ingest would deadlock against its own backpressure.
+    ZeroShardQueueCapacity,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -61,6 +70,15 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroWindowSpan => write!(f, "window_span must be nonzero"),
             ConfigError::ZeroAccuracyWindow => write!(f, "accuracy_window must be nonzero"),
             ConfigError::Estimator(e) => write!(f, "{e}"),
+            ConfigError::ZeroShardCount => write!(f, "shard.shards must be at least 1"),
+            ConfigError::ExcessiveShardCount(n) => write!(
+                f,
+                "shard.shards must be at most {}, got {n}",
+                crate::shard::MAX_SHARDS
+            ),
+            ConfigError::ZeroShardQueueCapacity => {
+                write!(f, "shard.queue_capacity must be nonzero")
+            }
         }
     }
 }
@@ -104,6 +122,15 @@ impl LatestConfig {
         self.estimator_config
             .validate()
             .map_err(ConfigError::Estimator)?;
+        if self.shard.shards == 0 {
+            return Err(ConfigError::ZeroShardCount);
+        }
+        if self.shard.shards > crate::shard::MAX_SHARDS {
+            return Err(ConfigError::ExcessiveShardCount(self.shard.shards));
+        }
+        if self.shard.queue_capacity == 0 {
+            return Err(ConfigError::ZeroShardQueueCapacity);
+        }
         Ok(())
     }
 }
@@ -249,6 +276,14 @@ impl LatestConfigBuilder {
         self
     }
 
+    /// Sharded-serving layout: shard count, per-shard queue capacity, and
+    /// routing policy ([`ShardedLatest`](crate::ShardedLatest)).
+    #[must_use = "setters move the builder; reassign or chain the result"]
+    pub fn shard(mut self, shard: crate::shard::ShardConfig) -> Self {
+        self.config.shard = shard;
+        self
+    }
+
     /// Validates the assembled configuration.
     pub fn build(self) -> Result<LatestConfig, ConfigError> {
         self.config.validate()?;
@@ -331,6 +366,54 @@ mod tests {
     }
 
     #[test]
+    fn rejects_invalid_shard_layouts() {
+        use crate::shard::{RouterPolicy, ShardConfig, MAX_SHARDS};
+        assert_eq!(
+            LatestConfig::builder()
+                .shard(ShardConfig {
+                    shards: 0,
+                    ..ShardConfig::default()
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroShardCount
+        );
+        assert_eq!(
+            LatestConfig::builder()
+                .shard(ShardConfig {
+                    shards: MAX_SHARDS + 1,
+                    ..ShardConfig::default()
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::ExcessiveShardCount(MAX_SHARDS + 1)
+        );
+        assert_eq!(
+            LatestConfig::builder()
+                .shard(ShardConfig {
+                    queue_capacity: 0,
+                    ..ShardConfig::default()
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroShardQueueCapacity
+        );
+        // The in-range corners build.
+        for shards in [1, MAX_SHARDS] {
+            let config = LatestConfig::builder()
+                .shard(ShardConfig {
+                    shards,
+                    queue_capacity: 1,
+                    router: RouterPolicy::SpatialTile,
+                })
+                .build()
+                .expect("corner layouts are valid");
+            assert_eq!(config.shard.shards, shards);
+            assert_eq!(config.shard.router, RouterPolicy::SpatialTile);
+        }
+    }
+
+    #[test]
     fn error_messages_name_the_domain() {
         assert!(ConfigError::TauOutOfRange(1.5)
             .to_string()
@@ -339,6 +422,15 @@ mod tests {
             .to_string()
             .contains("beta must be in (0,1)"));
         assert!(ConfigError::ZeroWindowSpan.to_string().contains("nonzero"));
+        assert!(ConfigError::ZeroShardCount
+            .to_string()
+            .contains("at least 1"));
+        assert!(ConfigError::ExcessiveShardCount(4_096)
+            .to_string()
+            .contains("4096"));
+        assert!(ConfigError::ZeroShardQueueCapacity
+            .to_string()
+            .contains("queue_capacity"));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod log;
 pub mod monitor;
 pub mod obsv;
 pub mod pool;
+pub mod shard;
 pub mod system;
 
 pub use adaptor::Recommender;
@@ -50,6 +51,9 @@ pub use obsv::{
     WallTimer,
 };
 pub use pool::EstimatorPool;
+pub use shard::{
+    RouterPolicy, ServingEngine, ShardConfig, ShardRouter, ShardedLatest, Ticket, MAX_SHARDS,
+};
 pub use system::{AblationConfig, Latest, LatestConfig, QueryOptions, QueryOutcome, ServedBy};
 
 /// Estimation accuracy of an estimate vs. the logged actual selectivity:

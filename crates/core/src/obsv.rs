@@ -660,6 +660,122 @@ impl MetricsSnapshot {
             .filter(|e| matches!(e, LifecycleEvent::EstimatorSwitched { .. }))
             .collect()
     }
+
+    /// Merges two snapshots into the run-wide view a sharded engine
+    /// reports ([`ShardedLatest::metrics_snapshot`]). The algebra, per
+    /// cell class:
+    ///
+    /// * **counters** (queries, ingest/eviction flows, cache traffic,
+    ///   adaptor decisions, pool work, path mix) sum;
+    /// * **histograms** add bucket-wise ([`HistogramSnapshot::merge`]);
+    /// * **gauges**: occupancy and memory footprints sum (they partition
+    ///   disjoint state), the monitor average becomes the
+    ///   observation-count-weighted mean, and `queries_since_switch`
+    ///   takes the max (the least-recently-switched shard bounds the
+    ///   whole engine's stability claim);
+    /// * **phase** is the *least* advanced shard's — the engine is only
+    ///   as far along as its slowest shard;
+    /// * **estimator roles** keep the most engaged role across shards
+    ///   (active > prefilling > pool > shadow > idle);
+    /// * **events** concatenate (self's first) and drop counts sum.
+    ///
+    /// The operation is associative and commutative on every numeric
+    /// field, so folding any number of shards in any order yields the
+    /// same totals.
+    ///
+    /// [`ShardedLatest::metrics_snapshot`]: crate::ShardedLatest::metrics_snapshot
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let phase = if phase_index(other.phase) < phase_index(self.phase) {
+            other.phase
+        } else {
+            self.phase
+        };
+        let monitor_average = match (
+            (self.adaptor.monitor_average, self.adaptor.monitor_len),
+            (other.adaptor.monitor_average, other.adaptor.monitor_len),
+        ) {
+            ((Some(a), la), (Some(b), lb)) if la + lb > 0 => {
+                Some((a * la as f64 + b * lb as f64) / (la + lb) as f64)
+            }
+            ((Some(a), _), _) => Some(a),
+            (_, (Some(b), _)) => Some(b),
+            _ => None,
+        };
+        let mut estimators: Vec<EstimatorMetrics> = self.estimators.clone();
+        for theirs in &other.estimators {
+            match estimators.iter_mut().find(|e| e.kind == theirs.kind) {
+                Some(ours) => {
+                    if role_rank(theirs.role) < role_rank(ours.role) {
+                        ours.role = theirs.role;
+                    }
+                    ours.memory_bytes += theirs.memory_bytes;
+                    ours.latency_us = ours.latency_us.merge(&theirs.latency_us);
+                }
+                None => estimators.push(theirs.clone()),
+            }
+        }
+        let mut events = self.events.clone();
+        events.extend(other.events.iter().cloned());
+        MetricsSnapshot {
+            phase,
+            queries_total: self.queries_total + other.queries_total,
+            queries_by_phase: std::array::from_fn(|i| {
+                self.queries_by_phase[i] + other.queries_by_phase[i]
+            }),
+            query_stream_gap_ms: self.query_stream_gap_ms.merge(&other.query_stream_gap_ms),
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            query_batch_sizes: self.query_batch_sizes.merge(&other.query_batch_sizes),
+            window: WindowMetrics {
+                occupancy: self.window.occupancy + other.window.occupancy,
+                ingested: self.window.ingested + other.window.ingested,
+                evicted: self.window.evicted + other.window.evicted,
+                ingest_batches: self.window.ingest_batches + other.window.ingest_batches,
+                eviction_batch_sizes: self
+                    .window
+                    .eviction_batch_sizes
+                    .merge(&other.window.eviction_batch_sizes),
+            },
+            adaptor: AdaptorMetrics {
+                switches: self.adaptor.switches + other.adaptor.switches,
+                prefill_starts: self.adaptor.prefill_starts + other.adaptor.prefill_starts,
+                prefill_discards: self.adaptor.prefill_discards + other.adaptor.prefill_discards,
+                tree_retrainings: self.adaptor.tree_retrainings + other.adaptor.tree_retrainings,
+                monitor_len: self.adaptor.monitor_len + other.adaptor.monitor_len,
+                monitor_average,
+                queries_since_switch: self
+                    .adaptor
+                    .queries_since_switch
+                    .max(other.adaptor.queries_since_switch),
+            },
+            pool: PoolMetrics {
+                rounds: self.pool.rounds + other.pool.rounds,
+                busy_us: self.pool.busy_us + other.pool.busy_us,
+                batch_sizes: self.pool.batch_sizes.merge(&other.pool.batch_sizes),
+                worker_busy_us: self.pool.worker_busy_us.merge(&other.pool.worker_busy_us),
+            },
+            executor: ExecutorMetrics {
+                spatial: self.executor.spatial + other.executor.spatial,
+                inverted: self.executor.inverted + other.executor.inverted,
+            },
+            estimators,
+            events,
+            events_dropped: self.events_dropped + other.events_dropped,
+        }
+    }
+}
+
+/// Engagement order of estimator roles for snapshot merging: lower rank =
+/// more engaged, and the merged view keeps the most engaged role any
+/// shard reports for a kind.
+fn role_rank(role: EstimatorRole) -> u8 {
+    match role {
+        EstimatorRole::Active => 0,
+        EstimatorRole::Prefilling => 1,
+        EstimatorRole::Pool => 2,
+        EstimatorRole::Shadow => 3,
+        EstimatorRole::Idle => 4,
+    }
 }
 
 #[cfg(test)]
@@ -753,5 +869,179 @@ mod tests {
         assert_eq!(phase_index(PhaseTag::WarmUp), 0);
         assert_eq!(phase_index(PhaseTag::PreTraining), 1);
         assert_eq!(phase_index(PhaseTag::Incremental), 2);
+    }
+
+    /// A hand-built snapshot for merge tests, parameterized enough to make
+    /// the per-field algebra distinguishable.
+    fn snap(phase: PhaseTag, queries: u64, avg: Option<f64>, len: u64) -> MetricsSnapshot {
+        let hist = |values: &[u64]| {
+            let h = Histogram::new(&BATCH_SIZE_BOUNDS);
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        MetricsSnapshot {
+            phase,
+            queries_total: queries,
+            queries_by_phase: [1, 2, queries.saturating_sub(3)],
+            query_stream_gap_ms: hist(&[queries]),
+            cache_hits: 2 * queries,
+            cache_misses: queries,
+            query_batch_sizes: hist(&[3, 300]),
+            window: WindowMetrics {
+                occupancy: 10 * queries,
+                ingested: 12 * queries,
+                evicted: 2 * queries,
+                ingest_batches: queries,
+                eviction_batch_sizes: hist(&[5]),
+            },
+            adaptor: AdaptorMetrics {
+                switches: 1,
+                prefill_starts: 2,
+                prefill_discards: 1,
+                tree_retrainings: 1,
+                monitor_len: len,
+                monitor_average: avg,
+                queries_since_switch: queries,
+            },
+            pool: PoolMetrics {
+                rounds: queries,
+                busy_us: 100 * queries,
+                batch_sizes: hist(&[17]),
+                worker_busy_us: hist(&[40]),
+            },
+            executor: ExecutorMetrics {
+                spatial: queries,
+                inverted: 2 * queries,
+            },
+            estimators: vec![
+                EstimatorMetrics {
+                    kind: EstimatorKind::Rsh,
+                    role: if phase == PhaseTag::Incremental {
+                        EstimatorRole::Active
+                    } else {
+                        EstimatorRole::Pool
+                    },
+                    memory_bytes: 1_000,
+                    latency_us: hist(&[7]),
+                },
+                EstimatorMetrics {
+                    kind: EstimatorKind::Spn,
+                    role: EstimatorRole::Idle,
+                    memory_bytes: 0,
+                    latency_us: hist(&[]),
+                },
+            ],
+            events: vec![LifecycleEvent::PhaseEntered {
+                phase,
+                at: Timestamp(queries),
+            }],
+            events_dropped: queries,
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_adds_histograms_bucket_wise() {
+        let a = snap(PhaseTag::Incremental, 10, Some(0.9), 8);
+        let b = snap(PhaseTag::Incremental, 4, Some(0.6), 2);
+        let m = a.merge(&b);
+        assert_eq!(m.queries_total, 14);
+        assert_eq!(m.queries_by_phase, [2, 4, 8]);
+        assert_eq!(m.cache_hits, 28);
+        assert_eq!(m.cache_misses, 14);
+        assert_eq!(m.window.occupancy, 140);
+        assert_eq!(m.window.ingested, 168);
+        assert_eq!(m.window.evicted, 28);
+        assert_eq!(m.executor.spatial, 14);
+        assert_eq!(m.executor.inverted, 28);
+        assert_eq!(m.pool.busy_us, 1_400);
+        assert_eq!(m.events_dropped, 14);
+        // Histograms: counts add bucket-for-bucket, totals add.
+        assert_eq!(m.query_batch_sizes.count, 4);
+        assert_eq!(m.query_batch_sizes.sum, 606);
+        assert_eq!(
+            m.query_batch_sizes.counts.iter().sum::<u64>(),
+            a.query_batch_sizes.counts.iter().sum::<u64>()
+                + b.query_batch_sizes.counts.iter().sum::<u64>()
+        );
+        // Events concatenate, self first.
+        assert_eq!(m.events.len(), 2);
+    }
+
+    #[test]
+    fn merge_phase_is_least_advanced_and_average_is_weighted() {
+        let a = snap(PhaseTag::Incremental, 10, Some(0.9), 8);
+        let b = snap(PhaseTag::WarmUp, 4, Some(0.6), 2);
+        let m = a.merge(&b);
+        assert_eq!(m.phase, PhaseTag::WarmUp);
+        // Weighted mean: (0.9·8 + 0.6·2) / 10 = 0.84.
+        let avg = m.adaptor.monitor_average.expect("both sides observed");
+        assert!((avg - 0.84).abs() < 1e-12, "avg = {avg}");
+        assert_eq!(m.adaptor.monitor_len, 10);
+        // queries_since_switch: max, not sum.
+        assert_eq!(m.adaptor.queries_since_switch, 10);
+    }
+
+    #[test]
+    fn merge_handles_one_sided_and_absent_monitors() {
+        let some = snap(PhaseTag::Incremental, 5, Some(0.7), 4);
+        let none = snap(PhaseTag::Incremental, 5, None, 0);
+        assert_eq!(
+            some.merge(&none).adaptor.monitor_average,
+            Some(0.7),
+            "one-sided merge keeps the observed average"
+        );
+        assert_eq!(none.merge(&some).adaptor.monitor_average, Some(0.7));
+        assert_eq!(none.merge(&none).adaptor.monitor_average, None);
+    }
+
+    #[test]
+    fn merge_keeps_most_engaged_estimator_role_and_sums_memory() {
+        let active = snap(PhaseTag::Incremental, 5, None, 0); // Rsh active
+        let pooled = snap(PhaseTag::WarmUp, 5, None, 0); // Rsh pooled
+        for m in [active.merge(&pooled), pooled.merge(&active)] {
+            let rsh = m
+                .estimators
+                .iter()
+                .find(|e| e.kind == EstimatorKind::Rsh)
+                .expect("rsh entry survives the merge");
+            assert_eq!(rsh.role, EstimatorRole::Active);
+            assert_eq!(rsh.memory_bytes, 2_000);
+            assert_eq!(rsh.latency_us.count, 2);
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_on_totals_and_associative() {
+        let a = snap(PhaseTag::Incremental, 3, Some(0.5), 2);
+        let b = snap(PhaseTag::PreTraining, 7, Some(0.9), 6);
+        let c = snap(PhaseTag::WarmUp, 1, None, 0);
+        let ab_c = a.merge(&b).merge(&c);
+        let a_bc = a.merge(&b.merge(&c));
+        assert_eq!(ab_c.queries_total, a_bc.queries_total);
+        assert_eq!(ab_c.window.occupancy, a_bc.window.occupancy);
+        assert_eq!(ab_c.phase, a_bc.phase);
+        assert_eq!(ab_c.adaptor.monitor_len, a_bc.adaptor.monitor_len);
+        let (x, y) = (
+            ab_c.adaptor.monitor_average.expect("observed"),
+            a_bc.adaptor.monitor_average.expect("observed"),
+        );
+        assert!((x - y).abs() < 1e-12);
+        let ba = b.merge(&a);
+        let ab = a.merge(&b);
+        assert_eq!(ab.queries_total, ba.queries_total);
+        assert_eq!(ab.phase, ba.phase);
+        assert_eq!(ab.query_batch_sizes, ba.query_batch_sizes);
+    }
+
+    #[test]
+    fn merged_snapshot_still_renders_valid_json_shape() {
+        let a = snap(PhaseTag::Incremental, 10, Some(0.9), 8);
+        let b = snap(PhaseTag::WarmUp, 4, None, 0);
+        let json = a.merge(&b).to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"phase\": \"warm-up\""));
     }
 }

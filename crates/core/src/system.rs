@@ -12,6 +12,7 @@ use crate::obsv::{
     EVICTION_EVENT_GRANULARITY,
 };
 use crate::pool::EstimatorPool;
+use crate::shard::ShardConfig;
 use estimators::{build_estimator, BoxedEstimator, EstimatorConfig, EstimatorKind};
 use exactdb::{ExactExecutor, SpatialIndexKind};
 use geostream::QueryType;
@@ -74,6 +75,11 @@ pub struct LatestConfig {
     /// memoized per window generation (any window content change clears
     /// the cache wholesale). `0` disables caching entirely.
     pub selectivity_cache_capacity: usize,
+    /// Sharded-serving layout ([`ShardedLatest`](crate::ShardedLatest)):
+    /// how many shards partition the stream, their ingest-queue capacity,
+    /// and the routing policy. A plain [`Latest`] ignores everything but
+    /// validation; the default is one shard (unsharded behavior).
+    pub shard: ShardConfig,
     /// Ablation knobs for the design-choice experiments. All on for the
     /// full LATEST protocol.
     pub ablation: AblationConfig,
@@ -141,6 +147,7 @@ impl Default for LatestConfig {
             drift_detection: true,
             pool_workers: 1,
             selectivity_cache_capacity: 4_096,
+            shard: ShardConfig::default(),
             ablation: AblationConfig::default(),
         }
     }
@@ -450,6 +457,26 @@ impl Latest {
     /// Current stream time.
     pub fn now(&self) -> Timestamp {
         self.window.now()
+    }
+
+    /// Advances virtual stream time to `at` without ingesting anything:
+    /// the window slides (propagating the eviction sweep to the executor
+    /// and every maintained estimator) and the warm-up → pre-training
+    /// transition is checked, exactly as an empty ingest batch stamped
+    /// `at` would. [`ShardedLatest`](crate::ShardedLatest) uses this as
+    /// its cross-shard eviction clock, so shards whose sub-batch ended
+    /// early still observe the same window horizon as their peers.
+    /// Timestamps earlier than the current stream time are ignored (the
+    /// window never moves backwards).
+    pub fn advance_clock(&mut self, at: Timestamp) {
+        self.advance_window_to(at);
+        self.maybe_leave_warmup();
+    }
+
+    /// Iterates over the live window contents, oldest first (read-only;
+    /// the sharded audit uses it to check router partition coverage).
+    pub fn window_objects(&self) -> impl Iterator<Item = &GeoTextObject> + '_ {
+        self.window.iter()
     }
 
     /// Read access to the selectivity cache (size, generation,

@@ -175,6 +175,42 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Merges two snapshots of histograms with the same bucket layout:
+    /// bucket-wise count addition, plus summed totals — exactly the
+    /// snapshot a single histogram would have produced had it recorded
+    /// both observation streams.
+    ///
+    /// Snapshots with *different* bounds cannot be aligned
+    /// bucket-for-bucket; `self`'s layout wins and the other side's
+    /// entire count is folded into the overflow bucket. Totals (and
+    /// therefore [`HistogramSnapshot::mean`]) stay exact either way —
+    /// only the bucket shape degrades, and in this workspace every
+    /// registry uses shared constant bounds so the fallback never fires
+    /// outside tests.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts = if self.bounds == other.bounds {
+            // Equal bounds imply equal lengths (`bounds.len() + 1`), so
+            // zip covers every bucket including overflow.
+            self.counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect()
+        } else {
+            let mut counts = self.counts.clone();
+            if let Some(overflow) = counts.last_mut() {
+                *overflow += other.count;
+            }
+            counts
+        };
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,5 +282,51 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn rejects_unsorted_bounds() {
         let _ = Histogram::new(&[10, 5]);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_bucket_wise() {
+        let a = Histogram::new(&[10, 100]);
+        let b = Histogram::new(&[10, 100]);
+        for v in [1, 50, 5000] {
+            a.record(v);
+        }
+        for v in [2, 3, 200] {
+            b.record(v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.counts, vec![3, 1, 2]);
+        assert_eq!(merged.count, 6);
+        assert_eq!(merged.sum, 5256);
+        // Merge equals the snapshot of one histogram fed both streams.
+        let both = Histogram::new(&[10, 100]);
+        for v in [1, 50, 5000, 2, 3, 200] {
+            both.record(v);
+        }
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn snapshot_merge_mismatched_bounds_folds_into_overflow() {
+        let a = Histogram::new(&[10, 100]);
+        let b = Histogram::new(&[7]);
+        a.record(5);
+        b.record(1);
+        b.record(9);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.bounds, vec![10, 100]); // self's layout wins
+        assert_eq!(merged.counts, vec![1, 0, 2]); // other folded into overflow
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 15); // totals stay exact
+    }
+
+    #[test]
+    fn snapshot_merge_with_empty_is_identity() {
+        let a = Histogram::new(&[10]);
+        a.record(4);
+        a.record(40);
+        let empty = Histogram::new(&[10]).snapshot();
+        assert_eq!(a.snapshot().merge(&empty), a.snapshot());
+        assert_eq!(empty.merge(&a.snapshot()), a.snapshot());
     }
 }

@@ -2,6 +2,10 @@
 //! background thread (crossbeam channel with backpressure), queries from
 //! several client threads against a shared handle.
 //!
+//! This keeps one instance behind a lock; to spread the stream itself
+//! across cores (one window + pool + cache per shard, scatter-gather
+//! queries), see the `sharded_serving` example.
+//!
 //! ```text
 //! cargo run --release -p latest-core --example live_pipeline
 //! ```

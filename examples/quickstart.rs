@@ -17,11 +17,14 @@ fn main() {
 
     // LATEST sized for a quick demo: a 60-second window, short
     // pre-training, and the RSH sampler as the default estimator. The
-    // builder validates every parameter domain up front.
+    // builder validates every parameter domain up front. `.shard(...)`
+    // stays at its single-shard default here — see the `sharded_serving`
+    // example for partitioning the stream across worker threads.
     let config = LatestConfig::builder()
         .window_span(Duration::from_secs(60))
         .warmup(Duration::from_secs(60))
         .pretrain_queries(120)
+        .shard(latest_core::ShardConfig::default())
         .estimator_config(estimators::EstimatorConfig {
             domain: dataset.domain,
             reservoir_capacity: 5_000,

@@ -1,0 +1,141 @@
+//! Sharded serving: run LATEST across worker shards with scatter-gather
+//! queries, then front it with the [`ServingEngine`] thread pool the way
+//! a service endpoint would.
+//!
+//! ```text
+//! cargo run --release -p latest-core --example sharded_serving
+//! ```
+//!
+//! The stream is partitioned across four shards, each owning its own
+//! window, estimator pool, adaptor, and selectivity cache on a dedicated
+//! worker thread. Queries fan out to the shards the router says can hold
+//! matching objects and the per-shard counts merge into one answer.
+
+use estimators::EstimatorConfig;
+use geostream::synth::DatasetSpec;
+use geostream::{KeywordId, Point, RcDvq, Rect};
+use latest_core::{
+    LatestConfig, LatestError, PhaseTag, QueryOptions, RouterPolicy, ServingEngine, ShardConfig,
+    ShardedLatest,
+};
+use std::sync::Arc;
+
+fn main() {
+    let dataset = DatasetSpec::twitter();
+    let config = LatestConfig::builder()
+        .window_span(geostream::Duration::from_secs(60))
+        .warmup(geostream::Duration::from_secs(60))
+        .pretrain_queries(60)
+        .estimator_config(EstimatorConfig {
+            domain: dataset.domain,
+            reservoir_capacity: 4_000,
+            ..EstimatorConfig::default()
+        })
+        // Four shards, partitioned by longitude strip: spatial queries
+        // touch only the strips their rectangle overlaps, keyword
+        // queries fan out everywhere.
+        .shard(ShardConfig {
+            shards: 4,
+            queue_capacity: 8_192,
+            router: RouterPolicy::SpatialTile,
+        })
+        .build()
+        .expect("demo parameters are in range");
+
+    println!("spawning {} shard workers…", config.shard.shards);
+    let engine = Arc::new(ShardedLatest::new(config).expect("shard threads spawn"));
+
+    // Batched ingest: the router partitions each batch and every shard
+    // advances to the batch's horizon, so windows stay aligned even on
+    // shards that received nothing.
+    let mut gen = dataset.generator();
+    loop {
+        let batch: Vec<_> = (0..512).map(|_| gen.next_object()).collect();
+        engine.ingest_batch(&batch).expect("shards are live");
+        let snap = engine.metrics_snapshot().expect("shards are live");
+        if snap.phase != PhaseTag::WarmUp {
+            println!(
+                "warm-up done: {} live objects across {} shards",
+                snap.window.occupancy,
+                engine.shards()
+            );
+            break;
+        }
+    }
+
+    // Drive every shard through pre-training with fanned-out queries.
+    let hotspots: Vec<Point> = dataset
+        .spatial_model()
+        .hotspots()
+        .iter()
+        .take(8)
+        .map(|h| h.center)
+        .collect();
+    let mut i = 0u32;
+    loop {
+        let c = hotspots[i as usize % hotspots.len()];
+        let area = Rect::centered_clamped(c, 2.0, 1.5, &dataset.domain);
+        let q = match i % 3 {
+            0 => RcDvq::spatial(area),
+            1 => RcDvq::keyword(vec![KeywordId(i % 40)]),
+            _ => RcDvq::hybrid(area, vec![KeywordId(i % 40)]),
+        };
+        let out = engine
+            .query(&q, QueryOptions::new())
+            .expect("shards are live");
+        i += 1;
+        if out.phase == PhaseTag::Incremental {
+            break;
+        }
+    }
+    println!("pre-training finished after {i} queries; serving clients…\n");
+
+    // The thread-pool front door: clients submit query batches and poll
+    // or wait for tickets. A full submission queue surfaces as
+    // `WouldBlock` — callers shed load explicitly, nothing drops
+    // silently.
+    let serving = ServingEngine::new(Arc::clone(&engine), 2, 64).expect("pool threads spawn");
+    let mut tickets = Vec::new();
+    let mut shed = 0u32;
+    for round in 0..48u32 {
+        let c = hotspots[round as usize % hotspots.len()];
+        let area = Rect::centered_clamped(c, 2.0, 1.5, &dataset.domain);
+        let batch = vec![
+            RcDvq::spatial(area),
+            RcDvq::keyword(vec![KeywordId(round % 40)]),
+            RcDvq::hybrid(area, vec![KeywordId(round % 40)]),
+        ];
+        match serving.submit(batch, QueryOptions::new()) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(LatestError::WouldBlock) => shed += 1,
+            Err(e) => panic!("serving engine failed: {e}"),
+        }
+        // Interleave fresh arrivals so the shards keep churning.
+        let arrivals: Vec<_> = (0..64).map(|_| gen.next_object()).collect();
+        engine.ingest_batch(&arrivals).expect("shards are live");
+    }
+    let mut acc_sum = 0.0;
+    let mut answered = 0usize;
+    for ticket in tickets {
+        for out in serving.wait(ticket).expect("shards are live") {
+            acc_sum += out.accuracy;
+            answered += 1;
+        }
+    }
+    println!(
+        "served {answered} queries (shed {shed} on backpressure), mean accuracy {:.3}",
+        acc_sum / answered.max(1) as f64
+    );
+
+    // One merged snapshot covers the whole fleet: counters sum,
+    // histograms add bucket-wise, phase reports the least-advanced shard.
+    let snap = engine.metrics_snapshot().expect("shards are live");
+    println!(
+        "fleet totals: {} queries, {} live objects, {} ingested, {} evicted",
+        snap.queries_total, snap.window.occupancy, snap.window.ingested, snap.window.evicted
+    );
+    let served = serving.shutdown();
+    let engine = Arc::try_unwrap(engine).expect("serving pool released its handle");
+    let ingested = engine.shutdown();
+    println!("pool served {served} batches; shards ingested {ingested} objects");
+}

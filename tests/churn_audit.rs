@@ -15,11 +15,14 @@
 
 use estimators::store::SampleStore;
 use estimators::EstimatorConfig;
+use estimators::EstimatorKind;
 use exactdb::{ExactExecutor, SpatialIndexKind};
 use geostream::{
     Duration, GeoTextObject, KeywordId, ObjectId, Point, RcDvq, Rect, SlidingWindow, Timestamp,
 };
-use latest_core::EstimatorPool;
+use latest_core::{
+    EstimatorPool, LatestConfig, QueryOptions, RouterPolicy, ShardConfig, ShardedLatest,
+};
 
 const DOMAIN: Rect = Rect {
     min_x: 0.0,
@@ -177,4 +180,59 @@ fn sample_store_recycling_and_midstream_compaction_stay_audit_clean() {
     }
     s.audit().expect("final audit");
     assert_eq!(s.len(), live.len());
+}
+
+/// Sharded-engine churn: a [`ShardedLatest`] under sustained batched
+/// ingest, scatter-gather queries, and window turnover must keep its
+/// cross-shard invariants — every live object on the shard the router
+/// maps it to, no object on two shards, and per-shard flow counters
+/// summing to the global occupancy — for both router policies.
+#[test]
+fn sharded_engine_stays_audit_clean_under_churn() {
+    for policy in [RouterPolicy::HashOid, RouterPolicy::SpatialTile] {
+        let config = LatestConfig::builder()
+            .window_span(Duration::from_millis(2_000))
+            .warmup(Duration::from_millis(2_000))
+            .pretrain_queries(16)
+            .alpha(0.0)
+            .default_estimator(EstimatorKind::Rsh)
+            .estimator_config(EstimatorConfig {
+                domain: DOMAIN,
+                reservoir_capacity: 256,
+                ..EstimatorConfig::default()
+            })
+            .shard(ShardConfig {
+                shards: 3,
+                queue_capacity: 1_024,
+                router: policy,
+            })
+            .build()
+            .expect("test parameters are in range");
+        let engine = ShardedLatest::new(config).expect("shards spawn");
+        let mut rng = 0x5a4d_0a0du64 ^ policy as u64;
+        let mut clock = Timestamp::ZERO;
+        let mut next_id = 0u64;
+        for round in 0..60u32 {
+            let batch: Vec<GeoTextObject> = (0..64)
+                .map(|_| {
+                    let r = lcg(&mut rng);
+                    clock = clock.after(Duration::from_millis(r % 4));
+                    next_id += 1;
+                    make_obj(next_id, r, clock)
+                })
+                .collect();
+            engine.ingest_batch(&batch).expect("shards are live");
+            // Keep the scatter-gather path inside the churn loop.
+            let q = probes(lcg(&mut rng));
+            let _ = engine
+                .query(&q, QueryOptions::at(clock))
+                .expect("shards are live");
+            if round % 10 == 9 {
+                engine
+                    .audit()
+                    .unwrap_or_else(|e| panic!("{} round {round}: {e}", policy.name()));
+            }
+        }
+        assert_eq!(engine.shutdown(), next_id);
+    }
 }
